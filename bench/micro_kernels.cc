@@ -1,0 +1,147 @@
+// google-benchmark microbenchmarks of the substrate kernels the reuse
+// savings are measured against: GEMM, im2col, LSH hashing, and the full
+// clustered matmul vs its dense equivalent.
+
+#include <benchmark/benchmark.h>
+
+#include "core/clustered_matmul.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t k = state.range(1);
+  const int64_t m = state.range(2);
+  Rng rng(1);
+  Tensor a = Tensor::RandomGaussian(Shape({n, k}), &rng);
+  Tensor b = Tensor::RandomGaussian(Shape({k, m}), &rng);
+  Tensor c(Shape({n, m}));
+  for (auto _ : state) {
+    Gemm(a.data(), b.data(), c.data(), n, k, m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * k * m);
+}
+BENCHMARK(BM_Gemm)
+    ->Args({256, 256, 256})
+    ->Args({1024, 400, 64})
+    ->Args({4096, 75, 64});
+
+void BM_GemmTransA(benchmark::State& state) {
+  const int64_t n = state.range(0), k = state.range(1), m = state.range(2);
+  Rng rng(2);
+  Tensor a = Tensor::RandomGaussian(Shape({n, k}), &rng);   // n x k
+  Tensor dy = Tensor::RandomGaussian(Shape({n, m}), &rng);  // n x m
+  Tensor c(Shape({k, m}));
+  for (auto _ : state) {
+    GemmTransA(a.data(), dy.data(), c.data(), k, n, m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * k * m);
+}
+BENCHMARK(BM_GemmTransA)->Args({1024, 400, 64});
+
+void BM_Im2Col(benchmark::State& state) {
+  ConvGeometry geo;
+  geo.batch = 8;
+  geo.in_channels = 16;
+  geo.in_height = 32;
+  geo.in_width = 32;
+  geo.kernel_h = 5;
+  geo.kernel_w = 5;
+  geo.stride = 1;
+  geo.pad = 2;
+  Rng rng(3);
+  Tensor input = Tensor::RandomGaussian(Shape({8, 16, 32, 32}), &rng);
+  Tensor cols(Shape({geo.unfolded_rows(), geo.unfolded_cols()}));
+  for (auto _ : state) {
+    Im2Col(geo, input, &cols);
+    benchmark::DoNotOptimize(cols.data());
+  }
+  state.SetItemsProcessed(state.iterations() * cols.num_elements());
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_LshHash(benchmark::State& state) {
+  const int64_t rows = 4096;
+  const int64_t dim = state.range(0);
+  const int num_hashes = static_cast<int>(state.range(1));
+  LshFamily family;
+  const Status status = LshFamily::Create(dim, num_hashes, 7, &family);
+  if (!status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+  Rng rng(4);
+  Tensor data = Tensor::RandomGaussian(Shape({rows, dim}), &rng);
+  std::vector<LshSignature> sigs;
+  for (auto _ : state) {
+    family.HashRows(data.data(), rows, dim, &sigs);
+    benchmark::DoNotOptimize(sigs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * dim * num_hashes);
+}
+BENCHMARK(BM_LshHash)->Args({400, 8})->Args({400, 16})->Args({25, 8});
+
+// Dense vs clustered forward on a redundant matrix: the headline kernel
+// comparison. Items processed counts the *baseline* work so the reported
+// throughput difference is the effective speedup.
+void SetupRedundant(Tensor* x, Tensor* w, int64_t n, int64_t k, int64_t m) {
+  Rng rng(5);
+  Tensor protos = Tensor::RandomGaussian(Shape({16, k}), &rng);
+  *x = Tensor(Shape({n, k}));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t p = static_cast<int64_t>(rng.NextBounded(16));
+    for (int64_t j = 0; j < k; ++j) {
+      x->at(i, j) = protos.at(p, j) + 0.05f * rng.NextGaussian();
+    }
+  }
+  *w = Tensor::RandomGaussian(Shape({k, m}), &rng);
+}
+
+void BM_DenseForward(benchmark::State& state) {
+  const int64_t n = 4096, k = 400, m = 64;
+  Tensor x, w;
+  SetupRedundant(&x, &w, n, k, m);
+  Tensor y(Shape({n, m}));
+  for (auto _ : state) {
+    Gemm(x.data(), w.data(), y.data(), n, k, m);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * k * m);
+}
+BENCHMARK(BM_DenseForward);
+
+void BM_ClusteredForward(benchmark::State& state) {
+  const int64_t n = 4096, k = 400, m = 64;
+  const int64_t l = state.range(0);
+  const int h = static_cast<int>(state.range(1));
+  Tensor x, w;
+  SetupRedundant(&x, &w, n, k, m);
+  auto families = BlockLshFamilies::Create(k, l, h, 11);
+  if (!families.ok()) {
+    state.SkipWithError(families.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    ForwardReuseResult result =
+        ClusteredMatmulForward(*families, x.data(), n, w, nullptr, n,
+                               nullptr);
+    benchmark::DoNotOptimize(result.y_rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * k * m);
+}
+BENCHMARK(BM_ClusteredForward)
+    ->Args({400, 8})
+    ->Args({100, 8})
+    ->Args({25, 12});
+
+}  // namespace
+}  // namespace adr
+
+BENCHMARK_MAIN();

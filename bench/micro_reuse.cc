@@ -1,0 +1,139 @@
+// google-benchmark microbenchmarks of the reuse kernels themselves:
+// forward clustering+GEMM, backward reuse vs exact backward, the cluster
+// reuse cache, and exact dedup as the trivial baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/exact_dedup.h"
+#include "core/clustered_matmul.h"
+#include "core/reuse_backward.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+// Redundant unfolded matrix: prototypes + small noise.
+struct Workload {
+  Tensor x;
+  Tensor w;
+  Tensor dy;
+  static constexpr int64_t kN = 4096;
+  static constexpr int64_t kK = 400;
+  static constexpr int64_t kM = 64;
+
+  Workload() {
+    Rng rng(17);
+    Tensor protos = Tensor::RandomGaussian(Shape({32, kK}), &rng);
+    x = Tensor(Shape({kN, kK}));
+    for (int64_t i = 0; i < kN; ++i) {
+      const int64_t p = static_cast<int64_t>(rng.NextBounded(32));
+      for (int64_t j = 0; j < kK; ++j) {
+        x.at(i, j) = protos.at(p, j) + 0.05f * rng.NextGaussian();
+      }
+    }
+    w = Tensor::RandomGaussian(Shape({kK, kM}), &rng);
+    dy = Tensor::RandomGaussian(Shape({kN, kM}), &rng);
+  }
+};
+
+Workload& SharedWorkload() {
+  static Workload* workload = new Workload();
+  return *workload;
+}
+
+void BM_ExactBackward(benchmark::State& state) {
+  Workload& wl = SharedWorkload();
+  Tensor dw(Shape({Workload::kK, Workload::kM}));
+  Tensor dx(Shape({Workload::kN, Workload::kK}));
+  for (auto _ : state) {
+    GemmTransA(wl.x.data(), wl.dy.data(), dw.data(), Workload::kK,
+               Workload::kN, Workload::kM);
+    GemmTransB(wl.dy.data(), wl.w.data(), dx.data(), Workload::kN,
+               Workload::kM, Workload::kK);
+    benchmark::DoNotOptimize(dw.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * Workload::kN *
+                          Workload::kK * Workload::kM);
+}
+BENCHMARK(BM_ExactBackward);
+
+void BM_ReuseBackward(benchmark::State& state) {
+  Workload& wl = SharedWorkload();
+  const int64_t l = state.range(0);
+  const int h = static_cast<int>(state.range(1));
+  auto families = BlockLshFamilies::Create(Workload::kK, l, h, 5);
+  if (!families.ok()) {
+    state.SkipWithError(families.status().ToString().c_str());
+    return;
+  }
+  const ReuseClustering clustering =
+      ClusterSubVectors(*families, wl.x.data(), Workload::kN, Workload::kN);
+  for (auto _ : state) {
+    BackwardReuseResult result = ReuseBackward(clustering, wl.w, wl.dy);
+    benchmark::DoNotOptimize(result.grad_weight.data());
+  }
+  // Items = the dense work replaced, so throughput shows effective gain.
+  state.SetItemsProcessed(state.iterations() * 2 * Workload::kN *
+                          Workload::kK * Workload::kM);
+}
+BENCHMARK(BM_ReuseBackward)->Args({100, 8})->Args({25, 12});
+
+void BM_ClusterOnly(benchmark::State& state) {
+  Workload& wl = SharedWorkload();
+  const int64_t l = state.range(0);
+  const int h = static_cast<int>(state.range(1));
+  auto families = BlockLshFamilies::Create(Workload::kK, l, h, 5);
+  if (!families.ok()) {
+    state.SkipWithError(families.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    ReuseClustering clustering = ClusterSubVectors(
+        *families, wl.x.data(), Workload::kN, Workload::kN);
+    benchmark::DoNotOptimize(clustering.blocks.data());
+  }
+  state.SetItemsProcessed(state.iterations() * Workload::kN * Workload::kK *
+                          h);
+}
+BENCHMARK(BM_ClusterOnly)->Args({400, 8})->Args({25, 12});
+
+void BM_ClusterReuseCacheWarm(benchmark::State& state) {
+  Workload& wl = SharedWorkload();
+  auto families = BlockLshFamilies::Create(Workload::kK, 100, 10, 5);
+  if (!families.ok()) {
+    state.SkipWithError(families.status().ToString().c_str());
+    return;
+  }
+  ClusterReuseCache cache;
+  // Warm the cache once; steady state then reuses everything.
+  ClusteredMatmulForward(*families, wl.x.data(), Workload::kN, wl.w,
+                         nullptr, Workload::kN, &cache);
+  for (auto _ : state) {
+    ForwardReuseResult result = ClusteredMatmulForward(
+        *families, wl.x.data(), Workload::kN, wl.w, nullptr, Workload::kN,
+        &cache);
+    benchmark::DoNotOptimize(result.y_rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * Workload::kN * Workload::kK *
+                          Workload::kM);
+}
+BENCHMARK(BM_ClusterReuseCacheWarm);
+
+void BM_ExactDedup(benchmark::State& state) {
+  Workload& wl = SharedWorkload();
+  for (auto _ : state) {
+    Clustering clustering =
+        ExactDedupRows(wl.x.data(), Workload::kN, Workload::kK,
+                       Workload::kK);
+    benchmark::DoNotOptimize(clustering.assignment.data());
+  }
+  state.SetItemsProcessed(state.iterations() * Workload::kN * Workload::kK);
+}
+BENCHMARK(BM_ExactDedup);
+
+}  // namespace
+}  // namespace adr
+
+BENCHMARK_MAIN();

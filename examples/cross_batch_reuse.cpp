@@ -1,0 +1,61 @@
+// Cross-batch cluster reuse (Algorithm 1) in action: the same layer run
+// over a stream of batches with CR on. Watch the per-batch reuse rate R
+// climb as the signature cache warms and computation drains away.
+//
+// Usage: ./build/examples/cross_batch_reuse
+
+#include <cstdio>
+
+#include "core/reuse_conv2d.h"
+#include "data/dataloader.h"
+#include "data/synthetic_images.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace adr;
+
+  SyntheticImageConfig data_config =
+      SyntheticImageConfig::CifarLike(512, 77);
+  data_config.num_classes = 4;
+  data_config.height = data_config.width = 16;
+  auto dataset = SyntheticImageDataset::Create(data_config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // A single conv layer with cluster reuse: signature cache keyed by the
+  // LSH bit-vector, shared across all batches (paper Algorithm 1).
+  Conv2dConfig conv;
+  conv.in_channels = 3;
+  conv.out_channels = 16;
+  conv.kernel = 5;
+  conv.stride = 1;
+  conv.pad = 2;
+  conv.in_height = 16;
+  conv.in_width = 16;
+  ReuseConfig reuse;
+  reuse.sub_vector_length = 15;
+  reuse.num_hashes = 12;
+  reuse.scope = ClusterScope::kAcrossBatch;  // implies CR = 1
+  Rng rng(1);
+  ReuseConv2d layer("conv1", conv, reuse, &rng);
+
+  DataLoader loader(&*dataset, 8, /*shuffle=*/true, 9);
+  Batch batch;
+  std::printf("%-7s %-12s %-14s %-14s\n", "batch", "R (batch)",
+              "cache entries", "MACs saved so far");
+  for (int b = 1; b <= 24; ++b) {
+    loader.Next(&batch);
+    layer.Forward(batch.images, /*training=*/false);
+    std::printf("%-7d %-12.3f %-14lld %.1f%%\n", b,
+                layer.stats().last_batch_reuse_rate,
+                static_cast<long long>(layer.cache()->TotalEntries()),
+                layer.stats().MacsSavedFraction() * 100.0);
+  }
+  std::printf(
+      "\nCumulative cluster reuse rate: %.3f (paper reports R -> ~0.98 "
+      "after ~20 batches on CifarNet)\n",
+      layer.cache()->ReuseRate());
+  return 0;
+}

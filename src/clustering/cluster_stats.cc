@@ -1,0 +1,36 @@
+#include "clustering/cluster_stats.h"
+
+#include <algorithm>
+
+#include "clustering/normalize.h"
+#include "util/check.h"
+
+namespace adr {
+
+ClusterStats ComputeClusterStats(const float* data, int64_t num_rows,
+                                 int64_t row_dim, int64_t row_stride,
+                                 const Clustering& clustering) {
+  ADR_CHECK_EQ(num_rows, clustering.num_rows());
+  ClusterStats stats;
+  stats.num_rows = num_rows;
+  stats.num_clusters = clustering.num_clusters();
+  stats.remaining_ratio = clustering.remaining_ratio();
+  for (int64_t size : clustering.cluster_sizes) {
+    stats.largest_cluster = std::max(stats.largest_cluster, size);
+    if (size == 1) ++stats.singleton_clusters;
+  }
+  if (num_rows == 0) return stats;
+
+  const Tensor centroids =
+      ComputeCentroids(data, num_rows, row_dim, row_stride, clustering);
+  double total = 0.0;
+  for (int64_t i = 0; i < num_rows; ++i) {
+    total += AngularDistance(
+        data + i * row_stride,
+        centroids.data() + clustering.assignment[i] * row_dim, row_dim);
+  }
+  stats.mean_intra_distance = total / static_cast<double>(num_rows);
+  return stats;
+}
+
+}  // namespace adr

@@ -1,0 +1,31 @@
+// Diagnostics over a Clustering: used by tests, the adaptive controller's
+// telemetry, and the similarity-verification experiment.
+
+#ifndef ADR_CLUSTERING_CLUSTER_STATS_H_
+#define ADR_CLUSTERING_CLUSTER_STATS_H_
+
+#include <cstdint>
+
+#include "clustering/clustering.h"
+
+namespace adr {
+
+struct ClusterStats {
+  int64_t num_rows = 0;
+  int64_t num_clusters = 0;
+  double remaining_ratio = 0.0;       ///< r_c = |C| / N
+  int64_t largest_cluster = 0;
+  int64_t singleton_clusters = 0;
+  /// Mean angular distance from member rows to their cluster centroid.
+  double mean_intra_distance = 0.0;
+};
+
+/// \brief Computes the stats; `data` (num_rows x row_dim, given stride) must
+/// be the matrix the clustering was built from.
+ClusterStats ComputeClusterStats(const float* data, int64_t num_rows,
+                                 int64_t row_dim, int64_t row_stride,
+                                 const Clustering& clustering);
+
+}  // namespace adr
+
+#endif  // ADR_CLUSTERING_CLUSTER_STATS_H_

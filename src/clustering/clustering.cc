@@ -1,0 +1,44 @@
+#include "clustering/clustering.h"
+
+#include "util/check.h"
+
+namespace adr {
+
+Tensor ComputeCentroids(const float* data, int64_t num_rows, int64_t row_dim,
+                        int64_t row_stride, const Clustering& clustering) {
+  ADR_CHECK_EQ(num_rows, clustering.num_rows());
+  const int64_t num_clusters = clustering.num_clusters();
+  Tensor centroids(Shape({num_clusters, row_dim}));
+  float* c = centroids.data();
+  for (int64_t i = 0; i < num_rows; ++i) {
+    const int32_t cl = clustering.assignment[i];
+    ADR_DCHECK(cl >= 0 && cl < num_clusters);
+    const float* row = data + i * row_stride;
+    float* dst = c + cl * row_dim;
+    for (int64_t j = 0; j < row_dim; ++j) dst[j] += row[j];
+  }
+  for (int64_t cl = 0; cl < num_clusters; ++cl) {
+    const int64_t size = clustering.cluster_sizes[cl];
+    ADR_CHECK_GT(size, 0) << "empty cluster " << cl;
+    const float inv = 1.0f / static_cast<float>(size);
+    float* dst = c + cl * row_dim;
+    for (int64_t j = 0; j < row_dim; ++j) dst[j] *= inv;
+  }
+  return centroids;
+}
+
+void ScatterRows(const Tensor& cluster_rows, const Clustering& clustering,
+                 float* out, int64_t row_stride) {
+  ADR_CHECK_EQ(cluster_rows.shape().rank(), 2);
+  ADR_CHECK_EQ(cluster_rows.shape()[0], clustering.num_clusters());
+  const int64_t row_dim = cluster_rows.shape()[1];
+  const float* src = cluster_rows.data();
+  const int64_t n = clustering.num_rows();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* from = src + clustering.assignment[i] * row_dim;
+    float* to = out + i * row_stride;
+    for (int64_t j = 0; j < row_dim; ++j) to[j] = from[j];
+  }
+}
+
+}  // namespace adr

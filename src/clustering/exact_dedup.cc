@@ -1,0 +1,83 @@
+#include "clustering/exact_dedup.h"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace adr {
+
+namespace {
+
+// FNV-1a over a row's bytes.
+uint64_t HashRowBytes(const float* row, int64_t dim) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(row);
+  const size_t count = static_cast<size_t>(dim) * sizeof(float);
+  for (size_t i = 0; i < count; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Clustering ExactDedupRows(const float* data, int64_t num_rows,
+                          int64_t row_dim, int64_t row_stride,
+                          float tolerance) {
+  ADR_CHECK_GT(num_rows, 0);
+  ADR_CHECK_GT(row_dim, 0);
+
+  // Optionally quantize into a scratch buffer.
+  std::vector<float> quantized;
+  const float* rows = data;
+  int64_t stride = row_stride;
+  if (tolerance > 0.0f) {
+    quantized.resize(static_cast<size_t>(num_rows) * row_dim);
+    for (int64_t i = 0; i < num_rows; ++i) {
+      const float* src = data + i * row_stride;
+      float* dst = quantized.data() + i * row_dim;
+      for (int64_t j = 0; j < row_dim; ++j) {
+        dst[j] = std::round(src[j] / tolerance) * tolerance;
+      }
+    }
+    rows = quantized.data();
+    stride = row_dim;
+  }
+
+  Clustering clustering;
+  clustering.assignment.resize(static_cast<size_t>(num_rows));
+  // hash -> list of (representative row index, cluster id); collisions are
+  // resolved by memcmp against the representative.
+  std::unordered_map<uint64_t, std::vector<std::pair<int64_t, int32_t>>>
+      buckets;
+  buckets.reserve(static_cast<size_t>(num_rows));
+
+  for (int64_t i = 0; i < num_rows; ++i) {
+    const float* row = rows + i * stride;
+    const uint64_t hash = HashRowBytes(row, row_dim);
+    auto& bucket = buckets[hash];
+    int32_t id = -1;
+    for (const auto& [rep_index, cluster_id] : bucket) {
+      const float* rep = rows + rep_index * stride;
+      if (std::memcmp(rep, row,
+                      static_cast<size_t>(row_dim) * sizeof(float)) == 0) {
+        id = cluster_id;
+        break;
+      }
+    }
+    if (id < 0) {
+      id = static_cast<int32_t>(clustering.cluster_sizes.size());
+      clustering.cluster_sizes.push_back(0);
+      bucket.emplace_back(i, id);
+    }
+    clustering.assignment[static_cast<size_t>(i)] = id;
+    ++clustering.cluster_sizes[static_cast<size_t>(id)];
+  }
+  return clustering;
+}
+
+}  // namespace adr

@@ -1,0 +1,27 @@
+// Exact duplicate-row detection: the trivial reuse baseline.
+//
+// Groups rows that are bitwise identical (or identical after quantization
+// to a tolerance grid). Comparing its remaining ratio with LSH's shows how
+// much of deep reuse's win comes from *approximate* similarity rather than
+// outright duplicates — an ablation the paper implies but never isolates.
+
+#ifndef ADR_CLUSTERING_EXACT_DEDUP_H_
+#define ADR_CLUSTERING_EXACT_DEDUP_H_
+
+#include <cstdint>
+
+#include "clustering/clustering.h"
+
+namespace adr {
+
+/// \brief Clusters bitwise-identical rows.
+///
+/// `tolerance` > 0 first quantizes each value to multiples of `tolerance`
+/// (so rows within half a grid cell coincide); 0 compares exact bits.
+Clustering ExactDedupRows(const float* data, int64_t num_rows,
+                          int64_t row_dim, int64_t row_stride,
+                          float tolerance = 0.0f);
+
+}  // namespace adr
+
+#endif  // ADR_CLUSTERING_EXACT_DEDUP_H_

@@ -1,0 +1,158 @@
+#include "clustering/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace adr {
+
+namespace {
+
+double SquaredDistance(const float* a, const float* b, int64_t dim) {
+  double d = 0.0;
+  for (int64_t j = 0; j < dim; ++j) {
+    const double diff = static_cast<double>(a[j]) - b[j];
+    d += diff * diff;
+  }
+  return d;
+}
+
+// k-means++ seeding: first center uniform, then D^2-weighted.
+void SeedCentroids(const float* data, int64_t num_rows, int64_t row_dim,
+                   int64_t row_stride, int64_t k, Rng* rng,
+                   Tensor* centroids) {
+  std::vector<double> min_dist(static_cast<size_t>(num_rows),
+                               std::numeric_limits<double>::max());
+  float* c = centroids->data();
+  const int64_t first = static_cast<int64_t>(rng->NextBounded(num_rows));
+  std::copy_n(data + first * row_stride, row_dim, c);
+  for (int64_t ci = 1; ci < k; ++ci) {
+    const float* prev = c + (ci - 1) * row_dim;
+    double total = 0.0;
+    for (int64_t i = 0; i < num_rows; ++i) {
+      const double d = SquaredDistance(data + i * row_stride, prev, row_dim);
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    int64_t chosen = num_rows - 1;
+    if (total > 0.0) {
+      double target = rng->NextDouble() * total;
+      for (int64_t i = 0; i < num_rows; ++i) {
+        target -= min_dist[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<int64_t>(rng->NextBounded(num_rows));
+    }
+    std::copy_n(data + chosen * row_stride, row_dim, c + ci * row_dim);
+  }
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const float* data, int64_t num_rows,
+                            int64_t row_dim, int64_t row_stride,
+                            const KMeansOptions& options) {
+  const int64_t k = options.num_clusters;
+  if (num_rows <= 0 || row_dim <= 0) {
+    return Status::InvalidArgument("KMeans: empty input");
+  }
+  if (k < 1 || k > num_rows) {
+    return Status::InvalidArgument(
+        "KMeans: num_clusters must be in [1, num_rows], got " +
+        std::to_string(k) + " for " + std::to_string(num_rows) + " rows");
+  }
+
+  KMeansResult result;
+  result.centroids = Tensor(Shape({k, row_dim}));
+  Rng rng(options.seed);
+  SeedCentroids(data, num_rows, row_dim, row_stride, k, &rng,
+                &result.centroids);
+
+  auto& assignment = result.clustering.assignment;
+  assignment.assign(static_cast<size_t>(num_rows), -1);
+  std::vector<int64_t> sizes(static_cast<size_t>(k), 0);
+  std::vector<double> row_dist(static_cast<size_t>(num_rows), 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    // Assignment step.
+    int64_t reassigned = 0;
+    std::fill(sizes.begin(), sizes.end(), 0);
+    const float* c = result.centroids.data();
+    for (int64_t i = 0; i < num_rows; ++i) {
+      const float* row = data + i * row_stride;
+      double best_d = std::numeric_limits<double>::max();
+      int32_t best = 0;
+      for (int64_t ci = 0; ci < k; ++ci) {
+        const double d = SquaredDistance(row, c + ci * row_dim, row_dim);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int32_t>(ci);
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        ++reassigned;
+      }
+      row_dist[i] = best_d;
+      ++sizes[best];
+    }
+
+    // Re-seed empty clusters with the farthest row whose own cluster has
+    // at least two members (so the donor cluster cannot become empty).
+    for (int64_t ci = 0; ci < k; ++ci) {
+      if (sizes[ci] != 0) continue;
+      int64_t farthest = -1;
+      for (int64_t i = 0; i < num_rows; ++i) {
+        if (sizes[assignment[i]] < 2) continue;
+        if (farthest < 0 || row_dist[i] > row_dist[farthest]) farthest = i;
+      }
+      // k <= num_rows guarantees a donor exists while any cluster is empty.
+      ADR_CHECK_GE(farthest, 0);
+      --sizes[assignment[farthest]];
+      assignment[farthest] = static_cast<int32_t>(ci);
+      ++sizes[ci];
+      row_dist[farthest] = 0.0;
+      ++reassigned;
+    }
+
+    // Update step.
+    result.centroids.SetZero();
+    float* cm = result.centroids.data();
+    for (int64_t i = 0; i < num_rows; ++i) {
+      const float* row = data + i * row_stride;
+      float* dst = cm + assignment[i] * row_dim;
+      for (int64_t j = 0; j < row_dim; ++j) dst[j] += row[j];
+    }
+    for (int64_t ci = 0; ci < k; ++ci) {
+      const float inv = 1.0f / static_cast<float>(sizes[ci]);
+      float* dst = cm + ci * row_dim;
+      for (int64_t j = 0; j < row_dim; ++j) dst[j] *= inv;
+    }
+
+    if (static_cast<double>(reassigned) <
+        options.min_reassigned_fraction * static_cast<double>(num_rows)) {
+      break;
+    }
+  }
+
+  result.clustering.cluster_sizes.assign(sizes.begin(), sizes.end());
+  double inertia = 0.0;
+  const float* c = result.centroids.data();
+  for (int64_t i = 0; i < num_rows; ++i) {
+    inertia += SquaredDistance(data + i * row_stride,
+                               c + assignment[i] * row_dim, row_dim);
+  }
+  result.mean_squared_distance = inertia / static_cast<double>(num_rows);
+  return result;
+}
+
+}  // namespace adr

@@ -1,0 +1,48 @@
+// Lloyd's k-means with k-means++ seeding.
+//
+// Used for the similarity-verification experiment (paper Fig. 7): k-means is
+// slower than LSH but produces higher-quality clusters, so it upper-bounds
+// the reuse potential among neuron vectors.
+
+#ifndef ADR_CLUSTERING_KMEANS_H_
+#define ADR_CLUSTERING_KMEANS_H_
+
+#include <cstdint>
+
+#include "clustering/clustering.h"
+#include "tensor/tensor.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace adr {
+
+struct KMeansOptions {
+  int64_t num_clusters = 8;
+  int max_iterations = 25;
+  /// Stop early when fewer than this fraction of rows change assignment.
+  double min_reassigned_fraction = 0.001;
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  Clustering clustering;
+  Tensor centroids;  ///< |C| x L
+  int iterations_run = 0;
+  /// Mean squared distance of rows to their centroid (inertia / N).
+  double mean_squared_distance = 0.0;
+};
+
+/// \brief Clusters the rows of `data` (num_rows x row_dim, given stride)
+/// into `options.num_clusters` groups under squared Euclidean distance.
+///
+/// Returns InvalidArgument when num_clusters is not in [1, num_rows].
+/// Empty clusters arising during Lloyd iterations are re-seeded with the
+/// row farthest from its centroid, so the final clustering has no empty
+/// clusters.
+Result<KMeansResult> KMeans(const float* data, int64_t num_rows,
+                            int64_t row_dim, int64_t row_stride,
+                            const KMeansOptions& options);
+
+}  // namespace adr
+
+#endif  // ADR_CLUSTERING_KMEANS_H_

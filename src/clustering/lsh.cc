@@ -1,0 +1,126 @@
+#include "clustering/lsh.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "util/check.h"
+
+namespace adr {
+
+Status LshFamily::Create(int64_t dim, int num_hashes, uint64_t seed,
+                         LshFamily* out) {
+  if (dim <= 0) {
+    return Status::InvalidArgument("LSH dimension must be > 0, got " +
+                                   std::to_string(dim));
+  }
+  if (num_hashes < 1 || num_hashes > kMaxLshHashes) {
+    return Status::InvalidArgument(
+        "LSH num_hashes must be in [1, " + std::to_string(kMaxLshHashes) +
+        "], got " + std::to_string(num_hashes));
+  }
+  out->dim_ = dim;
+  out->num_hashes_ = num_hashes;
+  out->hyperplanes_.resize(static_cast<size_t>(num_hashes) * dim);
+  Rng rng(seed);
+  for (auto& v : out->hyperplanes_) v = rng.NextGaussian();
+  out->hyperplanes_t_.resize(out->hyperplanes_.size());
+  for (int h = 0; h < num_hashes; ++h) {
+    for (int64_t j = 0; j < dim; ++j) {
+      out->hyperplanes_t_[static_cast<size_t>(j) * num_hashes + h] =
+          out->hyperplanes_[static_cast<size_t>(h) * dim + j];
+    }
+  }
+  return Status::OK();
+}
+
+LshSignature LshFamily::Hash(const float* row) const {
+  LshSignature sig;
+  const float* plane = hyperplanes_.data();
+  for (int h = 0; h < num_hashes_; ++h, plane += dim_) {
+    float dot = 0.0f;
+    for (int64_t j = 0; j < dim_; ++j) dot += plane[j] * row[j];
+    if (dot > 0.0f) sig.SetBit(h);
+  }
+  return sig;
+}
+
+void LshFamily::HashRows(const float* data, int64_t num_rows,
+                         int64_t row_stride,
+                         std::vector<LshSignature>* out) const {
+  out->assign(static_cast<size_t>(num_rows), LshSignature{});
+  // Batched formulation: the projections are one GEMM
+  // P = X * V (X is num_rows x dim, V dimension-major dim x H), followed
+  // by sign-packing — far faster than per-row dot products, especially
+  // for the short sub-vectors (small dim) adaptive deep reuse favours.
+  std::vector<float> projections(
+      static_cast<size_t>(num_rows) * num_hashes_);
+  if (row_stride == dim_) {
+    Gemm(data, hyperplanes_t_.data(), projections.data(), num_rows, dim_,
+         num_hashes_);
+  } else {
+    // Compact the strided rows first so the GEMM streams contiguously;
+    // the copy is O(N*L), negligible next to the O(N*L*H) projections.
+    std::vector<float> compact(static_cast<size_t>(num_rows) * dim_);
+    for (int64_t i = 0; i < num_rows; ++i) {
+      std::copy_n(data + i * row_stride, dim_,
+                  compact.data() + i * dim_);
+    }
+    Gemm(compact.data(), hyperplanes_t_.data(), projections.data(),
+         num_rows, dim_, num_hashes_);
+  }
+  for (int64_t i = 0; i < num_rows; ++i) {
+    const float* row = projections.data() + i * num_hashes_;
+    LshSignature& sig = (*out)[static_cast<size_t>(i)];
+    for (int h = 0; h < num_hashes_; ++h) {
+      if (row[h] > 0.0f) sig.SetBit(h);
+    }
+  }
+}
+
+Clustering ClusterBySignature(const std::vector<LshSignature>& row_signatures,
+                              std::vector<LshSignature>* signatures_out) {
+  Clustering clustering;
+  clustering.assignment.resize(row_signatures.size());
+  if (signatures_out != nullptr) signatures_out->clear();
+
+  // Open-addressing (linear probing) table: clustering runs once per
+  // column block per batch, so the constant factor matters. Slots hold
+  // the cluster id; -1 is empty.
+  size_t capacity = 16;
+  while (capacity < 2 * row_signatures.size()) capacity <<= 1;
+  const size_t mask = capacity - 1;
+  std::vector<int32_t> slot_id(capacity, -1);
+  std::vector<LshSignature> slot_sig(capacity);
+  const LshSignatureHash hasher;
+
+  for (size_t i = 0; i < row_signatures.size(); ++i) {
+    const LshSignature& sig = row_signatures[i];
+    size_t slot = hasher(sig) & mask;
+    while (slot_id[slot] >= 0 && !(slot_sig[slot] == sig)) {
+      slot = (slot + 1) & mask;
+    }
+    int32_t id = slot_id[slot];
+    if (id < 0) {
+      id = static_cast<int32_t>(clustering.cluster_sizes.size());
+      slot_id[slot] = id;
+      slot_sig[slot] = sig;
+      clustering.cluster_sizes.push_back(0);
+      if (signatures_out != nullptr) signatures_out->push_back(sig);
+    }
+    clustering.assignment[i] = id;
+    ++clustering.cluster_sizes[static_cast<size_t>(id)];
+  }
+  return clustering;
+}
+
+Clustering LshCluster(const LshFamily& family, const float* data,
+                      int64_t num_rows, int64_t row_stride,
+                      std::vector<LshSignature>* signatures_out) {
+  std::vector<LshSignature> sigs;
+  family.HashRows(data, num_rows, row_stride, &sigs);
+  return ClusterBySignature(sigs, signatures_out);
+}
+
+}  // namespace adr

@@ -1,0 +1,99 @@
+// Sign-random-projection LSH for angular distance (paper Section III-B).
+//
+// H Gaussian hyperplanes map each (L2-normalized) row vector to an H-bit
+// signature (Eq. 4); rows sharing a signature form a cluster. The signature
+// doubles as the cross-batch cluster ID used by cluster reuse (Algorithm 1).
+
+#ifndef ADR_CLUSTERING_LSH_H_
+#define ADR_CLUSTERING_LSH_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "clustering/clustering.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace adr {
+
+/// \brief Maximum number of hash functions supported (two 64-bit words).
+inline constexpr int kMaxLshHashes = 128;
+
+/// \brief An H-bit LSH signature; hashable, usable as a cross-batch
+/// cluster ID.
+struct LshSignature {
+  std::array<uint64_t, 2> words = {0, 0};
+
+  bool operator==(const LshSignature& other) const {
+    return words == other.words;
+  }
+  void SetBit(int i) { words[i >> 6] |= uint64_t{1} << (i & 63); }
+};
+
+struct LshSignatureHash {
+  size_t operator()(const LshSignature& s) const {
+    // splitmix-style mix of the two words.
+    uint64_t h = s.words[0] * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    h += s.words[1] * 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// \brief A fixed family of H Gaussian hyperplanes over dimension L.
+///
+/// The family is sampled once from a seed and then immutable, so the same
+/// signatures are comparable across batches (required by cluster reuse).
+class LshFamily {
+ public:
+  /// \brief Samples `num_hashes` hyperplanes of dimension `dim`.
+  ///
+  /// Returns InvalidArgument if num_hashes is outside [1, kMaxLshHashes]
+  /// or dim <= 0.
+  static Status Create(int64_t dim, int num_hashes, uint64_t seed,
+                       LshFamily* out);
+
+  int64_t dim() const { return dim_; }
+  int num_hashes() const { return num_hashes_; }
+
+  /// \brief Signature of one row vector (`row` has `dim()` elements).
+  ///
+  /// The row is interpreted under the angular metric: only the signs of the
+  /// projections matter, so no explicit normalization is needed here.
+  LshSignature Hash(const float* row) const;
+
+  /// \brief Signatures for `num_rows` rows with the given stride.
+  void HashRows(const float* data, int64_t num_rows, int64_t row_stride,
+                std::vector<LshSignature>* out) const;
+
+ private:
+  int64_t dim_ = 0;
+  int num_hashes_ = 0;
+  // Hyperplanes stored hyperplane-major: hyperplanes_[h * dim_ + j]
+  // (used by the single-row Hash) ...
+  std::vector<float> hyperplanes_;
+  // ... and dimension-major: hyperplanes_t_[j * num_hashes_ + h] (used by
+  // the batched HashRows GEMM, where the inner loop streams over h).
+  std::vector<float> hyperplanes_t_;
+};
+
+/// \brief Groups rows by LSH signature into a Clustering.
+///
+/// `signatures_out` (optional) receives the signature of each *cluster*
+/// (indexed by cluster id), which cluster reuse uses as the cache key.
+Clustering ClusterBySignature(const std::vector<LshSignature>& row_signatures,
+                              std::vector<LshSignature>* signatures_out);
+
+/// \brief Convenience: hash + group rows of an N x L matrix (stride = L).
+Clustering LshCluster(const LshFamily& family, const float* data,
+                      int64_t num_rows, int64_t row_stride,
+                      std::vector<LshSignature>* signatures_out = nullptr);
+
+}  // namespace adr
+
+#endif  // ADR_CLUSTERING_LSH_H_

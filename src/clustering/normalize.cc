@@ -1,0 +1,43 @@
+#include "clustering/normalize.h"
+
+#include <cmath>
+
+namespace adr {
+
+void NormalizeRowsInPlace(float* data, int64_t num_rows, int64_t row_dim,
+                          int64_t row_stride, float epsilon) {
+  for (int64_t i = 0; i < num_rows; ++i) {
+    float* row = data + i * row_stride;
+    double sq = 0.0;
+    for (int64_t j = 0; j < row_dim; ++j) {
+      sq += static_cast<double>(row[j]) * row[j];
+    }
+    const double norm = std::sqrt(sq);
+    if (norm <= epsilon) continue;
+    const float inv = static_cast<float>(1.0 / norm);
+    for (int64_t j = 0; j < row_dim; ++j) row[j] *= inv;
+  }
+}
+
+double AngularDistance(const float* a, const float* b, int64_t dim,
+                       float epsilon) {
+  double na = 0.0, nb = 0.0, dot = 0.0;
+  for (int64_t j = 0; j < dim; ++j) {
+    na += static_cast<double>(a[j]) * a[j];
+    nb += static_cast<double>(b[j]) * b[j];
+    dot += static_cast<double>(a[j]) * b[j];
+  }
+  na = std::sqrt(na);
+  nb = std::sqrt(nb);
+  const bool a_zero = na <= epsilon;
+  const bool b_zero = nb <= epsilon;
+  if (a_zero && b_zero) return 0.0;
+  if (a_zero || b_zero) return 2.0;
+  // ||â - b̂||^2 = 2 - 2 cos(a, b)
+  double cos = dot / (na * nb);
+  if (cos > 1.0) cos = 1.0;
+  if (cos < -1.0) cos = -1.0;
+  return std::sqrt(2.0 - 2.0 * cos);
+}
+
+}  // namespace adr

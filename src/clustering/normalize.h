@@ -1,0 +1,24 @@
+// Row normalization for the angular cosine metric (paper Section III-B).
+
+#ifndef ADR_CLUSTERING_NORMALIZE_H_
+#define ADR_CLUSTERING_NORMALIZE_H_
+
+#include <cstdint>
+
+namespace adr {
+
+/// \brief L2-normalizes each of `num_rows` rows of length `row_dim` in
+/// place; rows with norm below `epsilon` are left unchanged (the zero
+/// vector has no direction).
+void NormalizeRowsInPlace(float* data, int64_t num_rows, int64_t row_dim,
+                          int64_t row_stride, float epsilon = 1e-12f);
+
+/// \brief Angular cosine distance ||a/|a| - b/|b||| between two vectors;
+/// returns 2 when either vector is (near) zero and the other is not, 0 when
+/// both are (the paper's metric, extended to the degenerate cases).
+double AngularDistance(const float* a, const float* b, int64_t dim,
+                       float epsilon = 1e-12f);
+
+}  // namespace adr
+
+#endif  // ADR_CLUSTERING_NORMALIZE_H_

@@ -1,0 +1,294 @@
+#include "core/clustered_matmul.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "clustering/kmeans.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace adr {
+
+ClusterReuseCache::BlockMap& ClusterReuseCache::BlockFor(int64_t block) const {
+  ADR_CHECK_GE(block, 0);
+  if (static_cast<size_t>(block) >= blocks_.size()) {
+    blocks_.resize(static_cast<size_t>(block) + 1);
+  }
+  return blocks_[static_cast<size_t>(block)];
+}
+
+const ClusterReuseCache::Entry* ClusterReuseCache::Find(
+    int64_t block, const LshSignature& signature) const {
+  ++lookups_;
+  const BlockMap& map = BlockFor(block);
+  const auto it = map.find(signature);
+  if (it == map.end()) return nullptr;
+  ++hits_;
+  return &it->second;
+}
+
+void ClusterReuseCache::Insert(int64_t block, const LshSignature& signature,
+                               Entry entry) {
+  BlockMap& map = BlockFor(block);
+  const bool is_new = map.find(signature) == map.end();
+  map[signature] = std::move(entry);
+  if (is_new) {
+    insertion_order_.emplace_back(block, signature);
+    EvictIfNeeded();
+  }
+}
+
+void ClusterReuseCache::EvictIfNeeded() {
+  if (max_entries_ <= 0) return;
+  while (TotalEntries() > max_entries_ && !insertion_order_.empty()) {
+    const auto [block, signature] = insertion_order_.front();
+    insertion_order_.pop_front();
+    if (BlockFor(block).erase(signature) > 0) ++evictions_;
+  }
+}
+
+void ClusterReuseCache::Clear() {
+  blocks_.clear();
+  insertion_order_.clear();
+  lookups_ = 0;
+  hits_ = 0;
+  evictions_ = 0;
+}
+
+int64_t ClusterReuseCache::ApproximateMemoryBytes() const {
+  int64_t bytes = 0;
+  for (const BlockMap& map : blocks_) {
+    for (const auto& [signature, entry] : map) {
+      bytes += static_cast<int64_t>(sizeof(signature)) +
+               static_cast<int64_t>((entry.representative.size() +
+                                     entry.output.size()) *
+                                    sizeof(float));
+    }
+  }
+  return bytes;
+}
+
+int64_t ClusterReuseCache::TotalEntries() const {
+  int64_t total = 0;
+  for (const auto& map : blocks_) {
+    total += static_cast<int64_t>(map.size());
+  }
+  return total;
+}
+
+ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
+                                          const float* x, int64_t num_rows,
+                                          const Tensor& weight,
+                                          const Tensor* bias,
+                                          int64_t rows_per_group,
+                                          ClusterReuseCache* cache) {
+  const int64_t k = families.k();
+  ADR_CHECK_EQ(weight.shape().rank(), 2);
+  ADR_CHECK_EQ(weight.shape()[0], k);
+  const int64_t m = weight.shape()[1];
+
+  ForwardReuseResult result;
+  Timer timer;
+
+  // 1. Cluster all column blocks (hashing + grouping + centroids).
+  result.clustering = ClusterSubVectors(families, x, num_rows, rows_per_group);
+  result.stats.hash_seconds = timer.ElapsedSeconds();
+
+  result.y_rows = Tensor(Shape({num_rows, m}));
+  float* y = result.y_rows.data();
+
+  int64_t batch_clusters = 0;
+  int64_t batch_reused = 0;
+
+  timer.Reset();
+  for (size_t bi = 0; bi < result.clustering.blocks.size(); ++bi) {
+    SubMatrixClustering& block = result.clustering.blocks[bi];
+    const int64_t num_clusters = block.clustering.num_clusters();
+    const int64_t length = block.length;
+    const float* w_block = weight.data() + block.col_offset * m;
+    batch_clusters += num_clusters;
+
+    // 2. Decide, per cluster, whether its output comes from the cache.
+    Tensor yc(Shape({num_clusters, m}));
+    std::vector<int64_t> miss_clusters;
+    miss_clusters.reserve(static_cast<size_t>(num_clusters));
+    if (cache != nullptr) {
+      for (int64_t c = 0; c < num_clusters; ++c) {
+        const ClusterReuseCache::Entry* entry =
+            cache->Find(static_cast<int64_t>(bi), block.signatures[c]);
+        if (entry != nullptr) {
+          ADR_DCHECK(static_cast<int64_t>(entry->output.size()) == m);
+          std::memcpy(yc.data() + c * m, entry->output.data(),
+                      sizeof(float) * static_cast<size_t>(m));
+          std::memcpy(block.centroids.data() + c * length,
+                      entry->representative.data(),
+                      sizeof(float) * static_cast<size_t>(length));
+          block.reused_from_cache[static_cast<size_t>(c)] = true;
+          ++batch_reused;
+        } else {
+          miss_clusters.push_back(c);
+        }
+      }
+    } else {
+      for (int64_t c = 0; c < num_clusters; ++c) miss_clusters.push_back(c);
+    }
+
+    // 3. One GEMM over the centroids that missed: y_c = x_c * W_I.
+    const int64_t num_miss = static_cast<int64_t>(miss_clusters.size());
+    if (num_miss > 0) {
+      const bool all_miss = num_miss == num_clusters;
+      if (all_miss) {
+        Gemm(block.centroids.data(), w_block, yc.data(), num_clusters,
+             length, m);
+      } else {
+        Tensor compact(Shape({num_miss, length}));
+        for (int64_t i = 0; i < num_miss; ++i) {
+          std::memcpy(compact.data() + i * length,
+                      block.centroids.data() + miss_clusters[i] * length,
+                      sizeof(float) * static_cast<size_t>(length));
+        }
+        Tensor compact_y(Shape({num_miss, m}));
+        Gemm(compact.data(), w_block, compact_y.data(), num_miss, length, m);
+        for (int64_t i = 0; i < num_miss; ++i) {
+          std::memcpy(yc.data() + miss_clusters[i] * m,
+                      compact_y.data() + i * m,
+                      sizeof(float) * static_cast<size_t>(m));
+        }
+      }
+      result.stats.macs_gemm +=
+          static_cast<double>(num_miss) * length * m;
+      if (cache != nullptr) {
+        for (int64_t i = 0; i < num_miss; ++i) {
+          const int64_t c = miss_clusters[i];
+          ClusterReuseCache::Entry entry;
+          entry.representative.assign(
+              block.centroids.data() + c * length,
+              block.centroids.data() + (c + 1) * length);
+          entry.output.assign(yc.data() + c * m, yc.data() + (c + 1) * m);
+          cache->Insert(static_cast<int64_t>(bi), block.signatures[c],
+                        std::move(entry));
+        }
+      }
+    }
+
+    // 4. Reconstruct: y[i] += y_c[cluster(i)].
+    const float* yc_data = yc.data();
+    for (int64_t i = 0; i < num_rows; ++i) {
+      const float* src =
+          yc_data + block.clustering.assignment[static_cast<size_t>(i)] * m;
+      float* dst = y + i * m;
+      for (int64_t j = 0; j < m; ++j) dst[j] += src[j];
+    }
+    result.stats.macs_scatter += static_cast<double>(num_rows) * m;
+  }
+
+  if (bias != nullptr) {
+    AddRowBias(*bias, &result.y_rows);
+  }
+  result.stats.gemm_seconds = timer.ElapsedSeconds();
+
+  // Hash MACs: N * L_I * H per block = N * K * H in total.
+  double hash_macs = 0.0;
+  for (const auto& block : result.clustering.blocks) {
+    hash_macs += static_cast<double>(num_rows) * block.length *
+                 families.family(0).num_hashes();
+  }
+  result.stats.macs_hash = hash_macs;
+  result.stats.macs_baseline = static_cast<double>(num_rows) * k * m;
+  result.stats.clusters_total = batch_clusters;
+  result.stats.clusters_reused = batch_reused;
+  result.stats.avg_remaining_ratio =
+      result.clustering.AverageRemainingRatio();
+  result.stats.batch_reuse_rate =
+      batch_clusters == 0 ? 0.0
+                          : static_cast<double>(batch_reused) /
+                                static_cast<double>(batch_clusters);
+  return result;
+}
+
+ForwardReuseResult KMeansMatmulForward(
+    const float* x, int64_t num_rows, int64_t k, int64_t sub_vector_length,
+    const Tensor& weight, const Tensor* bias, int64_t rows_per_group,
+    int64_t clusters_per_group, int iterations, uint64_t seed) {
+  ADR_CHECK_EQ(weight.shape().rank(), 2);
+  ADR_CHECK_EQ(weight.shape()[0], k);
+  ADR_CHECK_GT(num_rows, 0);
+  ADR_CHECK_EQ(num_rows % rows_per_group, 0);
+  const int64_t m = weight.shape()[1];
+  const int64_t length =
+      sub_vector_length <= 0 || sub_vector_length > k ? k : sub_vector_length;
+
+  ForwardReuseResult result;
+  Timer timer;
+  result.clustering.num_rows = num_rows;
+  result.clustering.num_cols = k;
+
+  for (int64_t offset = 0; offset < k; offset += length) {
+    SubMatrixClustering block;
+    block.col_offset = offset;
+    block.length = std::min(length, k - offset);
+
+    Clustering& merged = block.clustering;
+    merged.assignment.resize(static_cast<size_t>(num_rows));
+    for (int64_t group_start = 0; group_start < num_rows;
+         group_start += rows_per_group) {
+      KMeansOptions options;
+      options.num_clusters = std::min(clusters_per_group, rows_per_group);
+      options.max_iterations = iterations;
+      options.seed = seed + static_cast<uint64_t>(offset * 1315423911 +
+                                                  group_start);
+      const Result<KMeansResult> kmeans =
+          KMeans(x + group_start * k + offset, rows_per_group, block.length,
+                 k, options);
+      ADR_CHECK(kmeans.ok()) << kmeans.status().ToString();
+      const int32_t id_offset =
+          static_cast<int32_t>(merged.cluster_sizes.size());
+      for (int64_t i = 0; i < rows_per_group; ++i) {
+        merged.assignment[static_cast<size_t>(group_start + i)] =
+            id_offset + kmeans->clustering.assignment[static_cast<size_t>(i)];
+      }
+      merged.cluster_sizes.insert(merged.cluster_sizes.end(),
+                                  kmeans->clustering.cluster_sizes.begin(),
+                                  kmeans->clustering.cluster_sizes.end());
+    }
+    // Recompute centroids over the merged assignment from the raw data
+    // (k-means already converged, but this keeps one code path).
+    block.centroids = ComputeCentroids(x + offset, num_rows, block.length,
+                                       k, merged);
+    block.reused_from_cache.assign(
+        static_cast<size_t>(merged.num_clusters()), false);
+    result.clustering.blocks.push_back(std::move(block));
+  }
+  result.stats.hash_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  result.y_rows = Tensor(Shape({num_rows, m}));
+  float* y = result.y_rows.data();
+  for (const SubMatrixClustering& block : result.clustering.blocks) {
+    const int64_t num_clusters = block.clustering.num_clusters();
+    Tensor yc(Shape({num_clusters, m}));
+    Gemm(block.centroids.data(), weight.data() + block.col_offset * m,
+         yc.data(), num_clusters, block.length, m);
+    result.stats.macs_gemm +=
+        static_cast<double>(num_clusters) * block.length * m;
+    const float* yc_data = yc.data();
+    for (int64_t i = 0; i < num_rows; ++i) {
+      const float* src =
+          yc_data + block.clustering.assignment[static_cast<size_t>(i)] * m;
+      float* dst = y + i * m;
+      for (int64_t j = 0; j < m; ++j) dst[j] += src[j];
+    }
+    result.stats.macs_scatter += static_cast<double>(num_rows) * m;
+    result.stats.clusters_total += num_clusters;
+  }
+  if (bias != nullptr) AddRowBias(*bias, &result.y_rows);
+  result.stats.gemm_seconds = timer.ElapsedSeconds();
+  result.stats.macs_baseline = static_cast<double>(num_rows) * k * m;
+  result.stats.avg_remaining_ratio =
+      result.clustering.AverageRemainingRatio();
+  return result;
+}
+
+}  // namespace adr

@@ -1,0 +1,127 @@
+// Forward-pass computation reuse: y = x * W computed on cluster centroids
+// only (paper Section III), optionally consulting the cross-batch cluster
+// reuse cache (Algorithm 1).
+
+#ifndef ADR_CORE_CLUSTERED_MATMUL_H_
+#define ADR_CORE_CLUSTERED_MATMUL_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/subvector_clustering.h"
+#include "tensor/tensor.h"
+
+namespace adr {
+
+/// \brief Cross-batch cluster cache of Algorithm 1.
+///
+/// Per column block it maps an LSH signature (the cluster ID) to the
+/// cluster's representative sub-vector and its precomputed output row.
+/// During training the cached outputs grow stale as W changes — that is the
+/// approximation the CR flag trades for speed (paper Section V-B); Reset()
+/// is the knob strategies use to bound it.
+class ClusterReuseCache {
+ public:
+  struct Entry {
+    std::vector<float> representative;  ///< length L_I
+    std::vector<float> output;          ///< length M
+  };
+
+  /// \brief Looks up a signature in block `block`; nullptr on miss.
+  const Entry* Find(int64_t block, const LshSignature& signature) const;
+
+  /// \brief Inserts (overwrites) an entry.
+  void Insert(int64_t block, const LshSignature& signature, Entry entry);
+
+  /// \brief Drops all entries (e.g. when L, H, or W-staleness policy says
+  /// the cache is no longer valid).
+  void Clear();
+
+  int64_t TotalEntries() const;
+
+  /// \brief Bounds the total entry count across blocks; when full, the
+  /// oldest entries (insertion order, FIFO) are evicted. 0 = unbounded
+  /// (the paper's Algorithm 1 never evicts).
+  void set_max_entries(int64_t max_entries) { max_entries_ = max_entries; }
+  int64_t max_entries() const { return max_entries_; }
+  int64_t evictions() const { return evictions_; }
+
+  /// \brief Approximate resident bytes of the cached representatives and
+  /// outputs (for memory dashboards).
+  int64_t ApproximateMemoryBytes() const;
+
+  /// Cumulative cluster lookups and hits since construction/Clear.
+  int64_t lookups() const { return lookups_; }
+  int64_t hits() const { return hits_; }
+  /// Cumulative reuse rate R = hits / lookups.
+  double ReuseRate() const {
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(hits_) /
+                               static_cast<double>(lookups_);
+  }
+
+ private:
+  using BlockMap =
+      std::unordered_map<LshSignature, Entry, LshSignatureHash>;
+  mutable std::vector<BlockMap> blocks_;
+  mutable int64_t lookups_ = 0;
+  mutable int64_t hits_ = 0;
+  int64_t max_entries_ = 0;
+  int64_t evictions_ = 0;
+  /// Insertion order across all blocks, for FIFO eviction.
+  std::deque<std::pair<int64_t, LshSignature>> insertion_order_;
+
+  BlockMap& BlockFor(int64_t block) const;
+  void EvictIfNeeded();
+};
+
+/// \brief Instrumentation of one reuse forward pass.
+struct ForwardReuseStats {
+  int64_t clusters_total = 0;
+  int64_t clusters_reused = 0;  ///< served from the CR cache
+  double avg_remaining_ratio = 0.0;
+  double hash_seconds = 0.0;  ///< hashing + grouping + centroids
+  double gemm_seconds = 0.0;  ///< centroid GEMM + scatter + bias
+  /// Multiply-accumulates actually executed, split per phase.
+  double macs_hash = 0.0;
+  double macs_gemm = 0.0;
+  double macs_scatter = 0.0;  ///< adds from reconstructing y (counted as MACs)
+  /// MACs a dense x*W GEMM would have executed.
+  double macs_baseline = 0.0;
+  /// Per-batch cluster reuse rate R (0 when no cache is used).
+  double batch_reuse_rate = 0.0;
+};
+
+/// \brief Result of the reuse forward pass.
+struct ForwardReuseResult {
+  Tensor y_rows;               ///< [N, M]
+  ReuseClustering clustering;  ///< retained for the backward pass
+  ForwardReuseStats stats;
+};
+
+/// \brief Computes y = x * W (+ bias) through centroid reuse.
+///
+/// `x` is N x K row-major; `weight` is [K, M]; `bias` is [M] or nullptr;
+/// `rows_per_group` sets the clustering scope (see ClusterSubVectors);
+/// `cache` enables Algorithm 1 when non-null.
+ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
+                                          const float* x, int64_t num_rows,
+                                          const Tensor& weight,
+                                          const Tensor* bias,
+                                          int64_t rows_per_group,
+                                          ClusterReuseCache* cache);
+
+/// \brief Same computation with k-means clustering instead of LSH — the
+/// high-quality/slow method of the paper's similarity-verification study
+/// (Fig. 7). `clusters_per_group` is clamped to each group's row count.
+/// No cross-batch cache (k-means has no stable cluster IDs).
+ForwardReuseResult KMeansMatmulForward(
+    const float* x, int64_t num_rows, int64_t k, int64_t sub_vector_length,
+    const Tensor& weight, const Tensor* bias, int64_t rows_per_group,
+    int64_t clusters_per_group, int iterations, uint64_t seed);
+
+}  // namespace adr
+
+#endif  // ADR_CORE_CLUSTERED_MATMUL_H_

@@ -1,0 +1,51 @@
+#include "core/complexity_model.h"
+
+#include "util/check.h"
+
+namespace adr {
+
+double ForwardRelativeCost(const ComplexityParams& p) {
+  ADR_CHECK_GT(p.m, 0);
+  const double l = static_cast<double>(p.effective_l());
+  return static_cast<double>(p.h) / static_cast<double>(p.m) + p.rc +
+         1.0 / l;
+}
+
+double ForwardRelativeCostClusterReuse(const ComplexityParams& p) {
+  ADR_CHECK_GT(p.m, 0);
+  const double l = static_cast<double>(p.effective_l());
+  return static_cast<double>(p.h) / static_cast<double>(p.m) +
+         (1.0 - p.reuse_rate) * p.rc + 1.0 / l;
+}
+
+double WeightGradRelativeCost(const ComplexityParams& p) {
+  const double l = static_cast<double>(p.effective_l());
+  return (1.0 - p.rc) / l + p.rc;
+}
+
+double InputDeltaRelativeCost(const ComplexityParams& p) { return p.rc; }
+
+double TrainingStepRelativeCost(const ComplexityParams& p) {
+  const double forward = p.reuse_rate > 0.0
+                             ? ForwardRelativeCostClusterReuse(p)
+                             : ForwardRelativeCost(p);
+  return (forward + WeightGradRelativeCost(p) + InputDeltaRelativeCost(p)) /
+         3.0;
+}
+
+double DeltaTimeForL(int64_t l1, int64_t l2) {
+  ADR_CHECK_GT(l1, 0);
+  ADR_CHECK_GT(l2, 0);
+  return 1.0 / static_cast<double>(l2) - 1.0 / static_cast<double>(l1);
+}
+
+double DeltaTimeForH(int h1, int h2, int64_t m) {
+  ADR_CHECK_GT(m, 0);
+  return static_cast<double>(h2 - h1) / static_cast<double>(m);
+}
+
+bool LshProfitable(int h, int64_t m, double rc) {
+  return static_cast<double>(h) < static_cast<double>(m) * (1.0 - rc);
+}
+
+}  // namespace adr

@@ -1,0 +1,60 @@
+// Analytic cost model of deep reuse (paper Eqs. 5, 6, 12, 20-23).
+//
+// All costs are *relative*: 1.0 equals the dense baseline GEMM cost
+// N*K*M of the pass in question. The adaptive strategy uses the
+// forward-cost deltas (Eqs. 22-23) to order its candidate list.
+
+#ifndef ADR_CORE_COMPLEXITY_MODEL_H_
+#define ADR_CORE_COMPLEXITY_MODEL_H_
+
+#include <cstdint>
+
+namespace adr {
+
+/// \brief Inputs to the cost model for one convolutional layer.
+struct ComplexityParams {
+  int64_t n = 0;   ///< rows of the unfolded matrix (batch)
+  int64_t k = 0;   ///< weight-kernel size Ic*kh*kw
+  int64_t m = 0;   ///< number of weight filters
+  int64_t l = 0;   ///< sub-vector length L (0 = whole row)
+  int h = 0;       ///< number of hash functions H
+  double rc = 0.0; ///< average remaining ratio |C|/N
+  double reuse_rate = 0.0;  ///< cluster reuse rate R (CR only)
+
+  int64_t effective_l() const { return l <= 0 || l > k ? k : l; }
+};
+
+/// \brief Forward cost relative to N*K*M (Eq. 5):
+/// H/M + r_c + 1/L.
+double ForwardRelativeCost(const ComplexityParams& p);
+
+/// \brief Forward cost with cluster reuse (Eq. 6):
+/// H/M + (1-R)*r_c + 1/L.
+double ForwardRelativeCostClusterReuse(const ComplexityParams& p);
+
+/// \brief Weight-gradient cost relative to N*K*M (Eq. 12):
+/// (1-r_c)/L + r_c.
+double WeightGradRelativeCost(const ComplexityParams& p);
+
+/// \brief Input-delta cost relative to N*K*M (Eq. 20): r_c.
+double InputDeltaRelativeCost(const ComplexityParams& p);
+
+/// \brief Whole-training-step cost relative to 3*N*K*M (one forward GEMM +
+/// two backward GEMMs).
+double TrainingStepRelativeCost(const ComplexityParams& p);
+
+/// \brief Expected-forward-time change when only L moves L1 -> L2
+/// (Eq. 22): 1/L2 - 1/L1.
+double DeltaTimeForL(int64_t l1, int64_t l2);
+
+/// \brief Expected-forward-time change when only H moves H1 -> H2
+/// (Eq. 23): (H2 - H1)/M.
+double DeltaTimeForH(int h1, int h2, int64_t m);
+
+/// \brief LSH profitability condition of Section III-B:
+/// true iff H < M * (1 - r_c).
+bool LshProfitable(int h, int64_t m, double rc);
+
+}  // namespace adr
+
+#endif  // ADR_CORE_COMPLEXITY_MODEL_H_

@@ -1,0 +1,107 @@
+#include "core/parameter_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clustering/lsh.h"
+#include "core/complexity_model.h"
+#include "util/check.h"
+
+namespace adr {
+
+std::string LhCandidate::ToString() const {
+  return "{L=" + std::to_string(l) + ", H=" + std::to_string(h) + "}";
+}
+
+void ComputeLRange(const LayerScheduleParams& params, int64_t* l_min,
+                   int64_t* l_max) {
+  ADR_CHECK_GT(params.kernel_w, 0);
+  ADR_CHECK_GT(params.in_channels, 0);
+  ADR_CHECK_GT(params.k, 0);
+  // Policy 1.
+  int64_t lo = params.kernel_w;
+  const int64_t sqrt_ic = static_cast<int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(params.in_channels))));
+  int64_t hi = sqrt_ic * params.kernel_w;
+  // Amendment 1: small kernels in hidden layers use k_w^2.
+  if (!params.is_first_layer &&
+      params.kernel_w * params.kernel_w < 10) {
+    lo = params.kernel_w * params.kernel_w;
+  }
+  lo = std::clamp<int64_t>(lo, 1, params.k);
+  hi = std::clamp<int64_t>(hi, lo, params.k);
+  *l_min = lo;
+  *l_max = hi;
+}
+
+void ComputeHRange(const LayerScheduleParams& params, int* h_min,
+                   int* h_max) {
+  ADR_CHECK_GT(params.n, 0);
+  // Policy 2: 2^h_min > 0.01 * N  and  2^h_max < N.
+  const double n = static_cast<double>(params.n);
+  int lo = 1;
+  while (std::pow(2.0, lo) <= 0.01 * n && lo < kMaxLshHashes) ++lo;
+  int hi = 1;
+  while (std::pow(2.0, hi + 1) < n && hi + 1 <= kMaxLshHashes) ++hi;
+  if (hi < lo) hi = lo;
+  *h_min = lo;
+  *h_max = hi;
+}
+
+std::vector<int64_t> CandidateLValues(int64_t k, int64_t l_min,
+                                      int64_t l_max) {
+  ADR_CHECK_GT(k, 0);
+  ADR_CHECK(l_min >= 1 && l_min <= l_max && l_max <= k);
+  std::vector<int64_t> values;
+  for (int64_t d = l_max; d >= l_min; --d) {
+    if (k % d == 0) values.push_back(d);
+  }
+  if (values.empty()) {
+    values.push_back(std::min(l_max, k));
+  }
+  return values;
+}
+
+Result<std::vector<LhCandidate>> BuildCandidateList(
+    const LayerScheduleParams& params) {
+  if (params.k <= 0 || params.m <= 0 || params.n <= 0 ||
+      params.kernel_w <= 0 || params.in_channels <= 0) {
+    return Status::InvalidArgument(
+        "layer schedule params must all be positive");
+  }
+  int64_t l_min = 0, l_max = 0;
+  ComputeLRange(params, &l_min, &l_max);
+  int h_min = 0, h_max = 0;
+  ComputeHRange(params, &h_min, &h_max);
+
+  const std::vector<int64_t> ls = CandidateLValues(params.k, l_min, l_max);
+  std::vector<int> hs;
+  for (int h = h_min; h <= h_max; ++h) hs.push_back(h);
+
+  // Policy 3: merge the two sorted knob walks, always taking the move with
+  // the smaller expected-time increase.
+  std::vector<LhCandidate> list;
+  size_t li = 0, hi = 0;
+  list.push_back({ls[li], hs[hi]});
+  while (li + 1 < ls.size() || hi + 1 < hs.size()) {
+    const bool can_l = li + 1 < ls.size();
+    const bool can_h = hi + 1 < hs.size();
+    bool take_l;
+    if (can_l && can_h) {
+      const double dl = DeltaTimeForL(ls[li], ls[li + 1]);
+      const double dh = DeltaTimeForH(hs[hi], hs[hi + 1], params.m);
+      take_l = dl <= dh;
+    } else {
+      take_l = can_l;
+    }
+    if (take_l) {
+      ++li;
+    } else {
+      ++hi;
+    }
+    list.push_back({ls[li], hs[hi]});
+  }
+  return list;
+}
+
+}  // namespace adr

@@ -1,0 +1,62 @@
+// Per-layer {L, H} candidate schedule (paper Section V-A):
+//   Policy 1 + Amendment 1 choose the L range from the layer geometry;
+//   Policy 2 chooses the H range from N;
+//   Policy 3 orders the candidates by expected-time increments.
+
+#ifndef ADR_CORE_PARAMETER_SCHEDULE_H_
+#define ADR_CORE_PARAMETER_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace adr {
+
+/// \brief One {L, H} candidate of the adaptive schedule.
+struct LhCandidate {
+  int64_t l = 0;
+  int h = 0;
+
+  bool operator==(const LhCandidate& other) const = default;
+  std::string ToString() const;
+};
+
+/// \brief Geometry of one conv layer as seen by the schedule policies.
+struct LayerScheduleParams {
+  int64_t kernel_w = 0;      ///< k_w
+  int64_t in_channels = 0;   ///< I_c
+  int64_t k = 0;             ///< unfolded width K = I_c * k_h * k_w
+  int64_t m = 0;             ///< number of filters M
+  int64_t n = 0;             ///< unfolded rows per batch N
+  bool is_first_layer = false;
+};
+
+/// \brief L range by Policy 1 / Amendment 1: [L_min, L_max] with
+/// L_min = k_w (or k_w^2 for non-first layers with k_w^2 < 10) and
+/// L_max = ceil(sqrt(I_c)) * k_w, both clamped to [1, K].
+void ComputeLRange(const LayerScheduleParams& params, int64_t* l_min,
+                   int64_t* l_max);
+
+/// \brief H range by Policy 2: the smallest H with 2^H > 0.01*N and the
+/// largest H with 2^H < N, clamped to [1, kMaxLshHashes] and ordered.
+void ComputeHRange(const LayerScheduleParams& params, int* h_min,
+                   int* h_max);
+
+/// \brief Candidate L values: divisors of K within [l_min, l_max],
+/// descending (largest = most aggressive first). Falls back to {l_max
+/// clamped to K} if no divisor lands in the range.
+std::vector<int64_t> CandidateLValues(int64_t k, int64_t l_min,
+                                      int64_t l_max);
+
+/// \brief Full ordered candidate list by Policy 3: starts at
+/// {L_max, H_min}, repeatedly appends whichever single-knob move (next
+/// smaller L, or next larger H) has the smaller expected-time increase
+/// (Eqs. 22-23), and ends at {L_min, H_max}.
+Result<std::vector<LhCandidate>> BuildCandidateList(
+    const LayerScheduleParams& params);
+
+}  // namespace adr
+
+#endif  // ADR_CORE_PARAMETER_SCHEDULE_H_

@@ -1,0 +1,73 @@
+#include "core/reuse_backward.h"
+
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace adr {
+
+BackwardReuseResult ReuseBackward(const ReuseClustering& clustering,
+                                  const Tensor& weight, const Tensor& dy) {
+  const int64_t n = clustering.num_rows;
+  const int64_t k = clustering.num_cols;
+  ADR_CHECK_EQ(weight.shape().rank(), 2);
+  ADR_CHECK_EQ(weight.shape()[0], k);
+  const int64_t m = weight.shape()[1];
+  ADR_CHECK(dy.shape() == Shape({n, m}));
+
+  Timer timer;
+  BackwardReuseResult result;
+  result.grad_weight = Tensor(Shape({k, m}));
+  result.grad_x = Tensor(Shape({n, k}));
+  result.grad_bias = ColumnSums(dy);
+
+  const float* dy_data = dy.data();
+  for (const SubMatrixClustering& block : clustering.blocks) {
+    const int64_t num_clusters = block.clustering.num_clusters();
+    const int64_t length = block.length;
+    const float* w_block = weight.data() + block.col_offset * m;
+
+    // dy_{c,s}: sum the dy rows of each cluster (Eq. 8).
+    Tensor dy_sum(Shape({num_clusters, m}));
+    float* sums = dy_sum.data();
+    for (int64_t i = 0; i < n; ++i) {
+      const float* src = dy_data + i * m;
+      float* dst =
+          sums + block.clustering.assignment[static_cast<size_t>(i)] * m;
+      for (int64_t j = 0; j < m; ++j) dst[j] += src[j];
+    }
+    result.stats.macs += static_cast<double>(n - num_clusters) * m;
+
+    // dW_I = x_c^T * dy_{c,s} (Eq. 10), written into rows
+    // [col_offset, col_offset + L) of dW.
+    GemmTransA(block.centroids.data(), sums,
+               result.grad_weight.data() + block.col_offset * m, length,
+               num_clusters, m);
+    result.stats.macs += static_cast<double>(num_clusters) * length * m;
+
+    // dy_{c,sa}: average instead of sum (divide each row by N_l).
+    for (int64_t c = 0; c < num_clusters; ++c) {
+      const float inv = 1.0f / static_cast<float>(
+                                   block.clustering.cluster_sizes
+                                       [static_cast<size_t>(c)]);
+      float* row = sums + c * m;
+      for (int64_t j = 0; j < m; ++j) row[j] *= inv;
+    }
+
+    // dx_c = dy_{c,sa} * W_I^T (Eq. 18).
+    Tensor dx_c(Shape({num_clusters, length}));
+    GemmTransB(sums, w_block, dx_c.data(), num_clusters, m, length);
+    result.stats.macs += static_cast<double>(num_clusters) * length * m;
+
+    // Scatter the centroid delta to every member row (Eq. 13).
+    ScatterRows(dx_c, block.clustering,
+                result.grad_x.data() + block.col_offset, k);
+  }
+
+  result.stats.seconds = timer.ElapsedSeconds();
+  result.stats.macs_baseline = 2.0 * static_cast<double>(n) * k * m;
+  return result;
+}
+
+}  // namespace adr

@@ -1,0 +1,83 @@
+// ReuseConfig: the three clustering knobs of adaptive deep reuse
+// (paper Section V): sub-vector length L, number of hash functions H, and
+// the cluster-reuse flag CR, plus the clustering scope of Section III-B.
+
+#ifndef ADR_CORE_REUSE_CONFIG_H_
+#define ADR_CORE_REUSE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace adr {
+
+/// \brief Pool over which neuron vectors are clustered (Section III-B,
+/// "Cluster Scope").
+enum class ClusterScope : int {
+  kSingleInput = 0,  ///< cluster the rows of each input image separately
+  kSingleBatch = 1,  ///< cluster all rows of a batch together (default)
+  kAcrossBatch = 2,  ///< single-batch clustering + cross-batch cluster reuse
+};
+
+std::string_view ClusterScopeToString(ClusterScope scope);
+
+/// \brief How neuron vectors are grouped.
+///
+/// The paper's system uses LSH; k-means is the slow, high-quality method
+/// used only for the similarity-verification study (Section VI-A, Fig. 7).
+enum class ClusteringMethod : int {
+  kLsh = 0,
+  kKMeans = 1,
+};
+
+std::string_view ClusteringMethodToString(ClusteringMethod method);
+
+/// \brief Clustering parameters of one reuse-enabled convolutional layer.
+struct ReuseConfig {
+  /// When false the layer computes the exact dense convolution (forward
+  /// and backward) — used to hold other layers exact while one layer is
+  /// studied, and as a per-layer off switch in deployments.
+  bool enabled = true;
+  /// Sub-vector length L. 0 means "use the whole row" (L = K).
+  int64_t sub_vector_length = 0;
+  /// Number of LSH hash functions H (1..kMaxLshHashes).
+  int num_hashes = 12;
+  /// Cluster reuse flag CR (Algorithm 1). Implied true when scope is
+  /// kAcrossBatch.
+  bool cluster_reuse = false;
+  ClusterScope scope = ClusterScope::kSingleBatch;
+  /// Seed for the LSH hyperplane family. The family is regenerated only
+  /// when (L, H, seed) changes, so signatures stay comparable across
+  /// batches, as cluster reuse requires.
+  uint64_t seed = 7;
+  /// Clustering method (see ClusteringMethod). Cluster reuse requires
+  /// kLsh (signatures are the cross-batch cluster IDs).
+  ClusteringMethod method = ClusteringMethod::kLsh;
+  /// Number of clusters per scope group when method == kKMeans (clamped
+  /// to the group's row count at run time).
+  int64_t kmeans_clusters = 64;
+  /// Lloyd iterations when method == kKMeans.
+  int kmeans_iterations = 10;
+
+  /// \brief Effective L for an unfolded matrix with K columns.
+  int64_t EffectiveLength(int64_t k) const {
+    return sub_vector_length <= 0 || sub_vector_length > k ? k
+                                                           : sub_vector_length;
+  }
+
+  bool ClusterReuseEnabled() const {
+    return cluster_reuse || scope == ClusterScope::kAcrossBatch;
+  }
+
+  /// \brief Validates against the layer's unfolded width K.
+  Status Validate(int64_t k) const;
+
+  std::string ToString() const;
+
+  bool operator==(const ReuseConfig& other) const = default;
+};
+
+}  // namespace adr
+
+#endif  // ADR_CORE_REUSE_CONFIG_H_

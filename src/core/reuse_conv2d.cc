@@ -1,0 +1,182 @@
+#include "core/reuse_conv2d.h"
+
+#include <cmath>
+
+#include "core/reuse_backward.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace adr {
+
+ReuseConv2d::ReuseConv2d(std::string name, const Conv2dConfig& config,
+                         const ReuseConfig& reuse, Rng* rng)
+    : name_(std::move(name)), config_(config), reuse_(reuse) {
+  const int64_t k = unfolded_cols();
+  const int64_t m = config_.out_channels;
+  ADR_CHECK_GT(k, 0);
+  ADR_CHECK_GT(m, 0);
+  ADR_CHECK(reuse_.Validate(k).ok()) << reuse_.Validate(k).ToString();
+  const float stddev = std::sqrt(2.0f / static_cast<float>(k));
+  weight_ = Tensor::RandomGaussian(Shape({k, m}), rng, 0.0f, stddev);
+  bias_ = Tensor(Shape({m}));
+  grad_weight_ = Tensor(Shape({k, m}));
+  grad_bias_ = Tensor(Shape({m}));
+  RebuildFamilies();
+}
+
+void ReuseConv2d::RebuildFamilies() {
+  const int64_t k = unfolded_cols();
+  families_ = *BlockLshFamilies::Create(k, reuse_.EffectiveLength(k),
+                                        reuse_.num_hashes, reuse_.seed);
+  if (reuse_.ClusterReuseEnabled()) {
+    cache_ = std::make_unique<ClusterReuseCache>();
+  } else {
+    cache_.reset();
+  }
+}
+
+Status ReuseConv2d::SetReuseConfig(const ReuseConfig& reuse) {
+  const int64_t k = unfolded_cols();
+  ADR_RETURN_NOT_OK(reuse.Validate(k));
+  const bool families_changed =
+      reuse.EffectiveLength(k) != reuse_.EffectiveLength(k) ||
+      reuse.num_hashes != reuse_.num_hashes || reuse.seed != reuse_.seed;
+  const bool cr_changed =
+      reuse.ClusterReuseEnabled() != reuse_.ClusterReuseEnabled();
+  reuse_ = reuse;
+  if (families_changed || cr_changed) {
+    RebuildFamilies();
+  }
+  return Status::OK();
+}
+
+ConvGeometry ReuseConv2d::Geometry(int64_t batch) const {
+  ConvGeometry geo;
+  geo.batch = batch;
+  geo.in_channels = config_.in_channels;
+  geo.in_height = config_.in_height;
+  geo.in_width = config_.in_width;
+  geo.kernel_h = config_.kernel;
+  geo.kernel_w = config_.kernel;
+  geo.stride = config_.stride;
+  geo.pad = config_.pad;
+  return geo;
+}
+
+Tensor ReuseConv2d::Forward(const Tensor& input, bool /*training*/) {
+  const int64_t batch = input.shape()[0];
+  const ConvGeometry geo = Geometry(batch);
+  const int64_t n = geo.unfolded_rows();
+  const int64_t k = geo.unfolded_cols();
+
+  Tensor cols(Shape({n, k}));
+  Im2Col(geo, input, &cols);
+  cached_batch_ = batch;
+
+  if (!reuse_.enabled) {
+    // Dense path: identical to Conv2d. The unfolded input is kept for the
+    // exact backward.
+    const int64_t m = config_.out_channels;
+    Tensor y_rows(Shape({n, m}));
+    Gemm(cols.data(), weight_.data(), y_rows.data(), n, k, m);
+    AddRowBias(bias_, &y_rows);
+    cached_cols_ = std::move(cols);
+    ++stats_.forward_calls;
+    stats_.macs_executed += static_cast<double>(n) * k * m;
+    stats_.macs_baseline += static_cast<double>(n) * k * m;
+    return RowsToNchw(y_rows, batch, m, geo.out_height(), geo.out_width());
+  }
+
+  const int64_t rows_per_group = reuse_.scope == ClusterScope::kSingleInput
+                                     ? geo.rows_per_image()
+                                     : n;
+  ForwardReuseResult forward =
+      reuse_.method == ClusteringMethod::kKMeans
+          ? KMeansMatmulForward(cols.data(), n, k,
+                                reuse_.EffectiveLength(k), weight_, &bias_,
+                                rows_per_group, reuse_.kmeans_clusters,
+                                reuse_.kmeans_iterations, reuse_.seed)
+          : ClusteredMatmulForward(families_, cols.data(), n, weight_,
+                                   &bias_, rows_per_group, cache_.get());
+  cached_clustering_ = std::move(forward.clustering);
+  if (exact_backward_) {
+    cached_cols_ = std::move(cols);
+  }
+
+  // Telemetry (running mean of r_c; cumulative times and MACs).
+  const ForwardReuseStats& fs = forward.stats;
+  const double prev_count = static_cast<double>(stats_.forward_calls);
+  stats_.avg_remaining_ratio =
+      (stats_.avg_remaining_ratio * prev_count + fs.avg_remaining_ratio) /
+      (prev_count + 1.0);
+  ++stats_.forward_calls;
+  stats_.hash_seconds += fs.hash_seconds;
+  stats_.gemm_seconds += fs.gemm_seconds;
+  stats_.macs_executed += fs.macs_hash + fs.macs_gemm + fs.macs_scatter;
+  stats_.macs_baseline += fs.macs_baseline;
+  stats_.last_batch_reuse_rate = fs.batch_reuse_rate;
+
+  return RowsToNchw(forward.y_rows, batch, config_.out_channels,
+                    geo.out_height(), geo.out_width());
+}
+
+Tensor ReuseConv2d::Backward(const Tensor& grad_output) {
+  ADR_CHECK_GT(cached_batch_, 0) << "Backward before Forward";
+  const ConvGeometry geo = Geometry(cached_batch_);
+  const int64_t n = geo.unfolded_rows();
+  const int64_t k = geo.unfolded_cols();
+  const int64_t m = config_.out_channels;
+
+  const Tensor dy = NchwToRows(grad_output);
+  ADR_CHECK(dy.shape() == Shape({n, m}));
+
+  Tensor dx_cols;
+  if (exact_backward_ || !reuse_.enabled) {
+    // Ablation path: exact gradients from the cached unfolded input.
+    Timer timer;
+    ADR_CHECK(cached_cols_.shape() == Shape({n, k}))
+        << "exact_backward requires the unfolded input cached in Forward";
+    GemmTransA(cached_cols_.data(), dy.data(), grad_weight_.data(), k, n, m);
+    grad_bias_ = ColumnSums(dy);
+    dx_cols = Tensor(Shape({n, k}));
+    GemmTransB(dy.data(), weight_.data(), dx_cols.data(), n, m, k);
+    stats_.backward_seconds += timer.ElapsedSeconds();
+    stats_.macs_executed += 2.0 * static_cast<double>(n) * k * m;
+    stats_.macs_baseline += 2.0 * static_cast<double>(n) * k * m;
+  } else {
+    BackwardReuseResult backward =
+        ReuseBackward(cached_clustering_, weight_, dy);
+    grad_weight_ = std::move(backward.grad_weight);
+    grad_bias_ = std::move(backward.grad_bias);
+    dx_cols = std::move(backward.grad_x);
+    stats_.backward_seconds += backward.stats.seconds;
+    stats_.macs_executed += backward.stats.macs;
+    stats_.macs_baseline += backward.stats.macs_baseline;
+  }
+
+  Tensor grad_input(Shape({cached_batch_, config_.in_channels,
+                           config_.in_height, config_.in_width}));
+  Col2Im(geo, dx_cols, &grad_input);
+  return grad_input;
+}
+
+double ReuseConv2d::ForwardMacs(int64_t batch) const {
+  const ConvGeometry geo = Geometry(batch);
+  return static_cast<double>(geo.unfolded_rows()) * geo.unfolded_cols() *
+         config_.out_channels;
+}
+
+void ReuseConv2d::CopyWeightsFrom(const Conv2d& baseline) {
+  ADR_CHECK(weight_.SameShape(baseline.weight()))
+      << "weight shape mismatch copying into " << name_;
+  weight_ = baseline.weight();
+  bias_ = baseline.bias();
+}
+
+void ReuseConv2d::ClearCache() {
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+}  // namespace adr

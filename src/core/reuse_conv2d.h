@@ -1,0 +1,115 @@
+// ReuseConv2d: drop-in replacement for Conv2d that runs adaptive deep
+// reuse — LSH-clustered forward (Section III) and clustering-reusing
+// backward (Section IV). The ReuseConfig can be changed between batches,
+// which is how the adaptive strategies of Section V drive the layer.
+
+#ifndef ADR_CORE_REUSE_CONV2D_H_
+#define ADR_CORE_REUSE_CONV2D_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/clustered_matmul.h"
+#include "core/reuse_config.h"
+#include "core/subvector_clustering.h"
+#include "nn/conv2d.h"
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace adr {
+
+/// \brief Cumulative telemetry of a reuse layer, reset with ResetStats().
+struct ReuseLayerStats {
+  int64_t forward_calls = 0;
+  double avg_remaining_ratio = 0.0;  ///< running mean of per-batch r_c
+  double hash_seconds = 0.0;
+  double gemm_seconds = 0.0;
+  double backward_seconds = 0.0;
+  double macs_executed = 0.0;   ///< forward + backward MACs actually done
+  double macs_baseline = 0.0;   ///< 3 * N * K * M per call
+  double last_batch_reuse_rate = 0.0;  ///< R of the most recent batch
+
+  /// Fraction of baseline MACs avoided so far.
+  double MacsSavedFraction() const {
+    return macs_baseline == 0.0 ? 0.0 : 1.0 - macs_executed / macs_baseline;
+  }
+};
+
+/// \brief Convolution layer accelerated by adaptive deep reuse.
+class ReuseConv2d : public Layer {
+ public:
+  /// \brief Fresh layer with He-initialized weights (same init as Conv2d
+  /// given the same `rng` state).
+  ReuseConv2d(std::string name, const Conv2dConfig& config,
+              const ReuseConfig& reuse, Rng* rng);
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Gradients() override {
+    return {&grad_weight_, &grad_bias_};
+  }
+  double ForwardMacs(int64_t batch) const override;
+
+  /// \brief Applies a new clustering configuration; regenerates the LSH
+  /// families and clears the cluster-reuse cache if (L, H, seed) changed.
+  /// Returns InvalidArgument for out-of-range parameters.
+  Status SetReuseConfig(const ReuseConfig& reuse);
+  const ReuseConfig& reuse_config() const { return reuse_; }
+
+  /// \brief When true, the backward pass is exact (uses the cached
+  /// unfolded input instead of the forward clustering) — an ablation knob;
+  /// the paper's method keeps this false.
+  void set_exact_backward(bool exact) { exact_backward_ = exact; }
+  bool exact_backward() const { return exact_backward_; }
+
+  const Conv2dConfig& config() const { return config_; }
+  ConvGeometry Geometry(int64_t batch) const;
+  int64_t unfolded_cols() const {
+    return config_.in_channels * config_.kernel * config_.kernel;
+  }
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& weight() const { return weight_; }
+
+  /// \brief Copies weights from a baseline Conv2d with identical geometry.
+  void CopyWeightsFrom(const Conv2d& baseline);
+
+  const ReuseLayerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ReuseLayerStats{}; }
+
+  /// \brief Cluster-reuse cache (present whenever CR is enabled).
+  const ClusterReuseCache* cache() const { return cache_.get(); }
+  void ClearCache();
+
+ private:
+  std::string name_;
+  Conv2dConfig config_;
+  ReuseConfig reuse_;
+  Tensor weight_;       ///< [K, M]
+  Tensor bias_;         ///< [M]
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+
+  BlockLshFamilies families_;
+  std::unique_ptr<ClusterReuseCache> cache_;
+  bool exact_backward_ = false;
+
+  // State cached between Forward and Backward.
+  ReuseClustering cached_clustering_;
+  Tensor cached_cols_;  ///< only filled when exact_backward_ is set
+  int64_t cached_batch_ = 0;
+
+  ReuseLayerStats stats_;
+
+  void RebuildFamilies();
+};
+
+}  // namespace adr
+
+#endif  // ADR_CORE_REUSE_CONV2D_H_

@@ -1,0 +1,97 @@
+#include "core/similarity_study.h"
+
+#include <string>
+
+#include "core/reuse_conv2d.h"
+#include "nn/trainer.h"
+
+namespace adr {
+
+namespace {
+
+/// Builds the reuse twin with all layers exact and returns it.
+Result<Model> BuildExactTwin(const Model& dense,
+                             const ModelOptions& model_options) {
+  ModelOptions options = model_options;
+  options.use_reuse = true;
+  options.reuse = ReuseConfig{};
+  options.reuse.enabled = false;
+  ADR_ASSIGN_OR_RETURN(Model twin, BuildModel(dense.name, options));
+  ADR_RETURN_NOT_OK(CopyWeights(dense, &twin));
+  return twin;
+}
+
+Result<SimilarityPoint> MeasureConfig(Model* twin, const Dataset& dataset,
+                                      const SimilarityStudyOptions& options,
+                                      const ReuseConfig& config) {
+  if (options.layer_index >= twin->reuse_layers.size()) {
+    return Status::InvalidArgument(
+        "layer_index " + std::to_string(options.layer_index) +
+        " out of range (model has " +
+        std::to_string(twin->reuse_layers.size()) + " conv layers)");
+  }
+  ReuseConv2d* layer = twin->reuse_layers[options.layer_index];
+  ADR_RETURN_NOT_OK(layer->SetReuseConfig(config));
+  layer->ResetStats();
+  SimilarityPoint point;
+  point.config = config;
+  point.accuracy = EvaluateAccuracy(&twin->network, dataset,
+                                    options.batch_size,
+                                    options.eval_samples);
+  point.remaining_ratio = layer->stats().avg_remaining_ratio;
+  point.macs_saved = layer->stats().MacsSavedFraction();
+  return point;
+}
+
+}  // namespace
+
+Result<std::vector<SimilarityPoint>> LshSimilarityStudy(
+    const Model& dense, const ModelOptions& model_options,
+    const Dataset& dataset, const SimilarityStudyOptions& options,
+    const std::vector<int64_t>& l_values,
+    const std::vector<int>& h_values) {
+  if (l_values.empty() || h_values.empty()) {
+    return Status::InvalidArgument("need at least one L and one H value");
+  }
+  ADR_ASSIGN_OR_RETURN(Model twin, BuildExactTwin(dense, model_options));
+  std::vector<SimilarityPoint> points;
+  points.reserve(l_values.size() * h_values.size());
+  for (int64_t l : l_values) {
+    for (int h : h_values) {
+      ReuseConfig config;
+      config.sub_vector_length = l;
+      config.num_hashes = h;
+      ADR_ASSIGN_OR_RETURN(SimilarityPoint point,
+                           MeasureConfig(&twin, dataset, options, config));
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+Result<std::vector<SimilarityPoint>> KMeansSimilarityStudy(
+    const Model& dense, const ModelOptions& model_options,
+    const Dataset& dataset, const SimilarityStudyOptions& options,
+    ClusterScope scope, const std::vector<int64_t>& cluster_counts) {
+  if (cluster_counts.empty()) {
+    return Status::InvalidArgument("need at least one cluster count");
+  }
+  std::vector<SimilarityPoint> points;
+  points.reserve(cluster_counts.size());
+  for (int64_t clusters : cluster_counts) {
+    // Fresh twin per point: k-means has no incremental state to reuse and
+    // a fresh twin keeps measurements independent.
+    ADR_ASSIGN_OR_RETURN(Model twin, BuildExactTwin(dense, model_options));
+    ReuseConfig config;
+    config.method = ClusteringMethod::kKMeans;
+    config.kmeans_clusters = clusters;
+    config.kmeans_iterations = 5;
+    config.scope = scope;
+    ADR_ASSIGN_OR_RETURN(SimilarityPoint point,
+                         MeasureConfig(&twin, dataset, options, config));
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace adr

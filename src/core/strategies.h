@@ -1,0 +1,87 @@
+// End-to-end training drivers for the paper's three reuse strategies
+// (Section V, evaluated in Table IV):
+//   Strategy 1 — fixed {L, H}, no cluster reuse;
+//   Strategy 2 — adaptive {L, H} via AdaptiveController;
+//   Strategy 3 — cluster reuse on until the loss plateaus, then off;
+// plus the dense baseline they are all measured against.
+
+#ifndef ADR_CORE_STRATEGIES_H_
+#define ADR_CORE_STRATEGIES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adaptive_controller.h"
+#include "core/reuse_config.h"
+#include "data/dataset.h"
+#include "models/models.h"
+#include "util/result.h"
+
+namespace adr {
+
+enum class StrategyKind : int {
+  kBaseline = 0,      ///< dense Conv2d training
+  kFixed = 1,         ///< Strategy 1
+  kAdaptive = 2,      ///< Strategy 2
+  kClusterReuse = 3,  ///< Strategy 3
+};
+
+std::string_view StrategyKindToString(StrategyKind kind);
+
+enum class OptimizerKind : int { kMomentum = 0, kAdam = 1 };
+
+/// \brief Options of one training run.
+struct TrainingRunOptions {
+  int64_t batch_size = 32;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  float learning_rate = 0.002f;
+  float momentum = 0.9f;  ///< used by OptimizerKind::kMomentum
+  /// Run ends as soon as the evaluation accuracy reaches this value...
+  double target_accuracy = 0.9;
+  /// ...or after this many optimizer steps.
+  int64_t max_steps = 1500;
+  int64_t eval_every = 20;    ///< steps between accuracy evaluations
+  int64_t eval_samples = 256; ///< samples used per evaluation
+  /// Fixed {L, H, CR} for strategies 1 and 3.
+  ReuseConfig fixed_reuse;
+  /// Controller options for strategy 2 (and the plateau rule of 3).
+  AdaptiveOptions adaptive;
+  uint64_t seed = 99;
+};
+
+/// \brief Outcome of one training run.
+struct TrainingRunResult {
+  StrategyKind strategy = StrategyKind::kBaseline;
+  int64_t steps_run = 0;
+  double wall_seconds = 0.0;
+  double final_accuracy = 0.0;
+  bool reached_target = false;
+  /// Conv-layer MACs actually executed / of the dense equivalent.
+  double conv_macs_executed = 0.0;
+  double conv_macs_baseline = 0.0;
+  int stages_used = 1;            ///< stages visited (strategy 2)
+  double final_reuse_rate = 0.0;  ///< last-batch R (strategy 3)
+  std::vector<double> loss_history;
+  /// (step, accuracy) evaluation trace.
+  std::vector<std::pair<int64_t, double>> eval_history;
+
+  /// Fraction of conv MACs avoided relative to dense.
+  double MacsSavedFraction() const {
+    return conv_macs_baseline == 0.0
+               ? 0.0
+               : 1.0 - conv_macs_executed / conv_macs_baseline;
+  }
+};
+
+/// \brief Trains `model_name` built with `model_options` on `dataset`
+/// under the given strategy and measures the run.
+Result<TrainingRunResult> RunTrainingStrategy(
+    StrategyKind kind, const std::string& model_name,
+    const ModelOptions& model_options, const Dataset& dataset,
+    const TrainingRunOptions& options);
+
+}  // namespace adr
+
+#endif  // ADR_CORE_STRATEGIES_H_

@@ -1,0 +1,100 @@
+#include "core/subvector_clustering.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace adr {
+
+double ReuseClustering::AverageRemainingRatio() const {
+  if (blocks.empty() || num_rows == 0) return 0.0;
+  double total = 0.0;
+  for (const auto& block : blocks) {
+    total += block.clustering.remaining_ratio();
+  }
+  return total / static_cast<double>(blocks.size());
+}
+
+int64_t ReuseClustering::TotalClusters() const {
+  int64_t total = 0;
+  for (const auto& block : blocks) total += block.clustering.num_clusters();
+  return total;
+}
+
+Result<BlockLshFamilies> BlockLshFamilies::Create(int64_t k,
+                                                  int64_t sub_vector_length,
+                                                  int num_hashes,
+                                                  uint64_t seed) {
+  if (k <= 0) return Status::InvalidArgument("K must be > 0");
+  const int64_t length = sub_vector_length <= 0 || sub_vector_length > k
+                             ? k
+                             : sub_vector_length;
+  BlockLshFamilies out;
+  out.k_ = k;
+  for (int64_t offset = 0; offset < k; offset += length) {
+    const int64_t block_len = std::min(length, k - offset);
+    LshFamily family;
+    const uint64_t block_seed =
+        seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(offset + 1);
+    ADR_RETURN_NOT_OK(
+        LshFamily::Create(block_len, num_hashes, block_seed, &family));
+    out.families_.push_back(std::move(family));
+    out.offsets_.push_back(offset);
+    out.lengths_.push_back(block_len);
+  }
+  return out;
+}
+
+ReuseClustering ClusterSubVectors(const BlockLshFamilies& families,
+                                  const float* x, int64_t num_rows,
+                                  int64_t rows_per_group) {
+  ADR_CHECK_GT(num_rows, 0);
+  ADR_CHECK_GT(rows_per_group, 0);
+  ADR_CHECK_EQ(num_rows % rows_per_group, 0)
+      << "rows_per_group must divide num_rows";
+  const int64_t k = families.k();
+
+  ReuseClustering result;
+  result.num_rows = num_rows;
+  result.num_cols = k;
+  result.blocks.resize(static_cast<size_t>(families.num_blocks()));
+
+  std::vector<LshSignature> sigs;
+  for (int64_t b = 0; b < families.num_blocks(); ++b) {
+    SubMatrixClustering& block = result.blocks[static_cast<size_t>(b)];
+    block.col_offset = families.block_offset(b);
+    block.length = families.block_length(b);
+    const LshFamily& family = families.family(b);
+
+    Clustering& merged = block.clustering;
+    merged.assignment.resize(static_cast<size_t>(num_rows));
+    for (int64_t group_start = 0; group_start < num_rows;
+         group_start += rows_per_group) {
+      family.HashRows(x + group_start * k + block.col_offset, rows_per_group,
+                      k, &sigs);
+      std::vector<LshSignature> group_cluster_sigs;
+      const Clustering group =
+          ClusterBySignature(sigs, &group_cluster_sigs);
+      const int32_t id_offset =
+          static_cast<int32_t>(merged.cluster_sizes.size());
+      for (int64_t i = 0; i < rows_per_group; ++i) {
+        merged.assignment[static_cast<size_t>(group_start + i)] =
+            id_offset + group.assignment[static_cast<size_t>(i)];
+      }
+      merged.cluster_sizes.insert(merged.cluster_sizes.end(),
+                                  group.cluster_sizes.begin(),
+                                  group.cluster_sizes.end());
+      block.signatures.insert(block.signatures.end(),
+                              group_cluster_sigs.begin(),
+                              group_cluster_sigs.end());
+    }
+
+    block.centroids = ComputeCentroids(x + block.col_offset, num_rows,
+                                       block.length, k, merged);
+    block.reused_from_cache.assign(
+        static_cast<size_t>(merged.num_clusters()), false);
+  }
+  return result;
+}
+
+}  // namespace adr

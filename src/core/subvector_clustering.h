@@ -1,0 +1,92 @@
+// Sub-vector clustering: splits the unfolded input matrix x (N x K)
+// column-wise into sub-matrices of width L and LSH-clusters the rows of
+// each independently (paper Fig. 3). The result is the shared artifact of
+// forward and backward reuse.
+
+#ifndef ADR_CORE_SUBVECTOR_CLUSTERING_H_
+#define ADR_CORE_SUBVECTOR_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/clustering.h"
+#include "clustering/lsh.h"
+#include "core/reuse_config.h"
+#include "tensor/tensor.h"
+#include "util/result.h"
+
+namespace adr {
+
+/// \brief Clustering of one column block x^(I) of the unfolded matrix.
+struct SubMatrixClustering {
+  int64_t col_offset = 0;  ///< first column of this block in x
+  int64_t length = 0;      ///< L_I (last block may be shorter)
+  Clustering clustering;
+  /// LSH signature per cluster (the cross-batch cluster ID).
+  std::vector<LshSignature> signatures;
+  /// Centroid matrix x_c^(I), |C_I| x L_I. For clusters reused from the
+  /// cross-batch cache this row holds the cached representative.
+  Tensor centroids;
+  /// reused_from_cache[c] is true when cluster c's output came from the
+  /// cluster-reuse cache (Algorithm 1) rather than a fresh GEMM.
+  std::vector<bool> reused_from_cache;
+};
+
+/// \brief Clustering of all column blocks of one unfolded matrix.
+struct ReuseClustering {
+  std::vector<SubMatrixClustering> blocks;
+  int64_t num_rows = 0;  ///< N
+  int64_t num_cols = 0;  ///< K
+
+  /// Average remaining ratio r_c across blocks (paper Section III-B).
+  double AverageRemainingRatio() const;
+  /// Total clusters across blocks.
+  int64_t TotalClusters() const;
+};
+
+/// \brief Immutable family of LSH hyperplanes for every column block of a
+/// layer, regenerated only when (K, L, H, seed) changes.
+class BlockLshFamilies {
+ public:
+  BlockLshFamilies() = default;
+
+  /// \brief Builds one LshFamily per block for width-K rows split at
+  /// length L. Each block gets an independent family (seed offset by the
+  /// block index).
+  static Result<BlockLshFamilies> Create(int64_t k, int64_t sub_vector_length,
+                                         int num_hashes, uint64_t seed);
+
+  int64_t num_blocks() const { return static_cast<int64_t>(families_.size()); }
+  const LshFamily& family(int64_t block) const {
+    return families_[static_cast<size_t>(block)];
+  }
+  int64_t block_offset(int64_t block) const {
+    return offsets_[static_cast<size_t>(block)];
+  }
+  int64_t block_length(int64_t block) const {
+    return lengths_[static_cast<size_t>(block)];
+  }
+  int64_t k() const { return k_; }
+
+ private:
+  int64_t k_ = 0;
+  std::vector<LshFamily> families_;
+  std::vector<int64_t> offsets_;
+  std::vector<int64_t> lengths_;
+};
+
+/// \brief Clusters the rows of `x` (num_rows x k, row-major) per block.
+///
+/// `rows_per_group` controls the clustering scope: rows are clustered in
+/// consecutive groups of that size with cluster IDs never shared across
+/// groups (pass num_rows for single-batch scope, N_img for single-input
+/// scope). Centroids are computed from the raw (unnormalized) sub-vectors;
+/// signatures are sign-invariant to scaling so no explicit normalization is
+/// needed for the angular metric.
+ReuseClustering ClusterSubVectors(const BlockLshFamilies& families,
+                                  const float* x, int64_t num_rows,
+                                  int64_t rows_per_group);
+
+}  // namespace adr
+
+#endif  // ADR_CORE_SUBVECTOR_CLUSTERING_H_

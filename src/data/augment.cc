@@ -1,0 +1,74 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace adr {
+
+void FlipHorizontal(float* image, int64_t channels, int64_t height,
+                    int64_t width) {
+  for (int64_t c = 0; c < channels; ++c) {
+    float* plane = image + c * height * width;
+    for (int64_t y = 0; y < height; ++y) {
+      float* row = plane + y * width;
+      std::reverse(row, row + width);
+    }
+  }
+}
+
+void ShiftImage(float* image, int64_t channels, int64_t height,
+                int64_t width, int64_t dy, int64_t dx) {
+  if (dy == 0 && dx == 0) return;
+  std::vector<float> copy(image,
+                          image + channels * height * width);
+  for (int64_t c = 0; c < channels; ++c) {
+    const float* src_plane = copy.data() + c * height * width;
+    float* dst_plane = image + c * height * width;
+    for (int64_t y = 0; y < height; ++y) {
+      const int64_t sy = y - dy;
+      for (int64_t x = 0; x < width; ++x) {
+        const int64_t sx = x - dx;
+        const bool inside =
+            sy >= 0 && sy < height && sx >= 0 && sx < width;
+        dst_plane[y * width + x] =
+            inside ? src_plane[sy * width + sx] : 0.0f;
+      }
+    }
+  }
+}
+
+void AugmentBatch(const AugmentConfig& config, Rng* rng, Batch* batch) {
+  ADR_CHECK(rng != nullptr);
+  ADR_CHECK(batch != nullptr);
+  ADR_CHECK_EQ(batch->images.shape().rank(), 4);
+  const int64_t n = batch->images.shape()[0];
+  const int64_t channels = batch->images.shape()[1];
+  const int64_t height = batch->images.shape()[2];
+  const int64_t width = batch->images.shape()[3];
+  const int64_t image_elems = channels * height * width;
+
+  for (int64_t i = 0; i < n; ++i) {
+    float* image = batch->images.data() + i * image_elems;
+    if (config.flip_probability > 0.0f &&
+        rng->NextDouble() < config.flip_probability) {
+      FlipHorizontal(image, channels, height, width);
+    }
+    if (config.crop_padding > 0) {
+      const int64_t range = 2 * config.crop_padding + 1;
+      const int64_t dy =
+          static_cast<int64_t>(rng->NextBounded(range)) - config.crop_padding;
+      const int64_t dx =
+          static_cast<int64_t>(rng->NextBounded(range)) - config.crop_padding;
+      ShiftImage(image, channels, height, width, dy, dx);
+    }
+    if (config.brightness_jitter > 0.0f) {
+      const float shift = rng->NextUniform(-config.brightness_jitter,
+                                           config.brightness_jitter);
+      for (int64_t j = 0; j < image_elems; ++j) image[j] += shift;
+    }
+  }
+}
+
+}  // namespace adr

@@ -1,0 +1,38 @@
+// Image augmentations applied to batches in place: the standard CIFAR
+// recipe (random horizontal flip + random crop with zero padding) plus
+// per-image brightness jitter. All deterministic given the Rng.
+
+#ifndef ADR_DATA_AUGMENT_H_
+#define ADR_DATA_AUGMENT_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace adr {
+
+struct AugmentConfig {
+  /// Probability of mirroring each image horizontally.
+  float flip_probability = 0.5f;
+  /// Random-crop padding in pixels (0 disables cropping).
+  int crop_padding = 0;
+  /// Max absolute additive brightness shift (0 disables).
+  float brightness_jitter = 0.0f;
+};
+
+/// \brief Mirrors one CHW image horizontally in place.
+void FlipHorizontal(float* image, int64_t channels, int64_t height,
+                    int64_t width);
+
+/// \brief Shifts one CHW image by (dy, dx), filling vacated pixels with
+/// zero — equivalent to zero-padding then cropping at an offset.
+void ShiftImage(float* image, int64_t channels, int64_t height,
+                int64_t width, int64_t dy, int64_t dx);
+
+/// \brief Applies the configured augmentations to every image of `batch`.
+void AugmentBatch(const AugmentConfig& config, Rng* rng, Batch* batch);
+
+}  // namespace adr
+
+#endif  // ADR_DATA_AUGMENT_H_

@@ -1,0 +1,63 @@
+#include "data/dataloader.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace adr {
+
+DataLoader::DataLoader(const Dataset* dataset, int64_t batch_size,
+                       bool shuffle, uint64_t seed)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  ADR_CHECK(dataset != nullptr);
+  ADR_CHECK(batch_size >= 1 && batch_size <= dataset->size())
+      << "batch_size " << batch_size << " vs dataset size "
+      << dataset->size();
+  order_.resize(static_cast<size_t>(dataset->size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  if (shuffle_) rng_.Shuffle(&order_);
+}
+
+void DataLoader::Next(Batch* batch) {
+  if (cursor_ + batch_size_ > static_cast<int64_t>(order_.size())) {
+    cursor_ = 0;
+    ++epoch_;
+    if (shuffle_) rng_.Shuffle(&order_);
+  }
+  const Shape img = dataset_->image_shape();
+  const int64_t image_elems = img.num_elements();
+  batch->images = Tensor(Shape({batch_size_, img[0], img[1], img[2]}));
+  batch->labels.resize(static_cast<size_t>(batch_size_));
+  float* dst = batch->images.data();
+  for (int64_t i = 0; i < batch_size_; ++i) {
+    dataset_->Get(order_[static_cast<size_t>(cursor_ + i)],
+                  dst + i * image_elems,
+                  &batch->labels[static_cast<size_t>(i)]);
+  }
+  cursor_ += batch_size_;
+}
+
+void DataLoader::Reset() {
+  cursor_ = 0;
+  epoch_ = 0;
+}
+
+Batch MakeBatch(const Dataset& dataset, int64_t start, int64_t count) {
+  ADR_CHECK(start >= 0 && count > 0 && start + count <= dataset.size());
+  const Shape img = dataset.image_shape();
+  const int64_t image_elems = img.num_elements();
+  Batch batch;
+  batch.images = Tensor(Shape({count, img[0], img[1], img[2]}));
+  batch.labels.resize(static_cast<size_t>(count));
+  float* dst = batch.images.data();
+  for (int64_t i = 0; i < count; ++i) {
+    dataset.Get(start + i, dst + i * image_elems,
+                &batch.labels[static_cast<size_t>(i)]);
+  }
+  return batch;
+}
+
+}  // namespace adr

@@ -1,0 +1,54 @@
+// DataLoader: shuffled mini-batch iteration over a Dataset.
+
+#ifndef ADR_DATA_DATALOADER_H_
+#define ADR_DATA_DATALOADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace adr {
+
+/// \brief Cycles through a dataset in shuffled mini-batches.
+///
+/// The paper's setup shuffles inputs before feeding them to the network
+/// (Section VI); reshuffling happens at every epoch boundary. The final
+/// partial batch of an epoch is dropped so every batch has the same size
+/// (keeping N constant for the reuse layers).
+class DataLoader {
+ public:
+  /// `dataset` must outlive the loader. batch_size must be in
+  /// [1, dataset->size()].
+  DataLoader(const Dataset* dataset, int64_t batch_size, bool shuffle,
+             uint64_t seed);
+
+  /// \brief Fills `batch` with the next mini-batch, reshuffling at epoch
+  /// boundaries.
+  void Next(Batch* batch);
+
+  int64_t batch_size() const { return batch_size_; }
+  int64_t batches_per_epoch() const { return order_.size() / batch_size_; }
+  int64_t epoch() const { return epoch_; }
+
+  /// \brief Restarts from the beginning of a fresh epoch.
+  void Reset();
+
+ private:
+  const Dataset* dataset_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<int> order_;
+  int64_t cursor_ = 0;
+  int64_t epoch_ = 0;
+};
+
+/// \brief Materializes `count` samples starting at `start` as one batch
+/// (no shuffling) — used by evaluation loops.
+Batch MakeBatch(const Dataset& dataset, int64_t start, int64_t count);
+
+}  // namespace adr
+
+#endif  // ADR_DATA_DATALOADER_H_

@@ -1,0 +1,250 @@
+#include "models/models.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/normalization.h"
+#include "nn/pooling.h"
+#include "util/check.h"
+
+namespace adr {
+
+namespace {
+
+/// Tracks the (C, H, W) flowing through the network under construction and
+/// appends layers with derived geometry.
+class Builder {
+ public:
+  Builder(const ModelOptions& options, Model* model)
+      : options_(options),
+        model_(model),
+        rng_(options.seed),
+        channels_(options.input_channels),
+        height_(options.input_size),
+        width_(options.input_size) {}
+
+  int64_t Scaled(int64_t base_channels) const {
+    return std::max<int64_t>(
+        4, std::llround(options_.width * static_cast<double>(base_channels)));
+  }
+
+  int64_t ScaledFc(int64_t base) const {
+    return std::max<int64_t>(
+        8, std::llround(options_.fc_width * static_cast<double>(base)));
+  }
+
+  Status Conv(const std::string& name, int64_t base_out, int64_t kernel,
+              int64_t stride, int64_t pad) {
+    const int64_t out_channels = Scaled(base_out);
+    if (height_ + 2 * pad < kernel ||
+        (height_ + 2 * pad - kernel) % stride != 0 ||
+        (width_ + 2 * pad - kernel) % stride != 0) {
+      return Status::InvalidArgument(
+          name + ": input " + std::to_string(height_) + "x" +
+          std::to_string(width_) + " incompatible with kernel " +
+          std::to_string(kernel) + " stride " + std::to_string(stride) +
+          " pad " + std::to_string(pad));
+    }
+    Conv2dConfig config;
+    config.in_channels = channels_;
+    config.out_channels = out_channels;
+    config.kernel = kernel;
+    config.stride = stride;
+    config.pad = pad;
+    config.in_height = height_;
+    config.in_width = width_;
+    if (options_.use_reuse) {
+      ReuseConfig reuse = options_.reuse;
+      const int64_t k = channels_ * kernel * kernel;
+      if (reuse.sub_vector_length > k) reuse.sub_vector_length = k;
+      auto* layer = model_->network.Add(std::make_unique<ReuseConv2d>(
+          name, config, reuse, &rng_));
+      model_->reuse_layers.push_back(layer);
+    } else {
+      auto* layer =
+          model_->network.Add(std::make_unique<Conv2d>(name, config, &rng_));
+      model_->conv_layers.push_back(layer);
+    }
+    channels_ = out_channels;
+    height_ = (height_ + 2 * pad - kernel) / stride + 1;
+    width_ = (width_ + 2 * pad - kernel) / stride + 1;
+    if (options_.batch_norm) {
+      model_->network.Add(
+          std::make_unique<BatchNorm2d>(name + "_bn", out_channels));
+    }
+    Relu(name + "_relu");
+    return Status::OK();
+  }
+
+  void Relu(const std::string& name) {
+    model_->network.Add(std::make_unique<adr::Relu>(name));
+  }
+
+  Status MaxPool(const std::string& name, int64_t kernel, int64_t stride) {
+    if (height_ < kernel || width_ < kernel) {
+      return Status::InvalidArgument(name + ": input too small to pool");
+    }
+    PoolConfig config;
+    config.kernel = kernel;
+    config.stride = stride;
+    model_->network.Add(std::make_unique<MaxPool2d>(name, config));
+    height_ = (height_ - kernel) / stride + 1;
+    width_ = (width_ - kernel) / stride + 1;
+    return Status::OK();
+  }
+
+  void Head(const std::vector<int64_t>& fc_sizes) {
+    model_->network.Add(std::make_unique<adr::Flatten>("flatten"));
+    int64_t features = channels_ * height_ * width_;
+    int index = 1;
+    for (int64_t base : fc_sizes) {
+      const int64_t out = ScaledFc(base);
+      const std::string name = "fc" + std::to_string(index++);
+      model_->network.Add(
+          std::make_unique<Dense>(name, features, out, &rng_));
+      Relu(name + "_relu");
+      features = out;
+    }
+    model_->network.Add(std::make_unique<Dense>(
+        "logits", features, options_.num_classes, &rng_));
+  }
+
+ private:
+  const ModelOptions& options_;
+  Model* model_;
+  Rng rng_;
+  int64_t channels_;
+  int64_t height_;
+  int64_t width_;
+};
+
+Status ValidateCommon(const ModelOptions& options) {
+  if (options.num_classes < 2) {
+    return Status::InvalidArgument("num_classes must be >= 2");
+  }
+  if (options.input_channels <= 0 || options.input_size <= 0) {
+    return Status::InvalidArgument("input dims must be > 0");
+  }
+  if (options.width <= 0.0 || options.fc_width <= 0.0) {
+    return Status::InvalidArgument("width multipliers must be > 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Model> BuildCifarNet(const ModelOptions& options) {
+  ADR_RETURN_NOT_OK(ValidateCommon(options));
+  if (options.input_size < 8 || options.input_size % 4 != 0) {
+    return Status::InvalidArgument(
+        "CifarNet needs input_size >= 8 and divisible by 4");
+  }
+  Model model;
+  model.name = "cifarnet";
+  Builder b(options, &model);
+  ADR_RETURN_NOT_OK(b.Conv("conv1", 64, /*kernel=*/5, /*stride=*/1,
+                           /*pad=*/2));
+  ADR_RETURN_NOT_OK(b.MaxPool("pool1", 2, 2));
+  ADR_RETURN_NOT_OK(b.Conv("conv2", 64, 5, 1, 2));
+  ADR_RETURN_NOT_OK(b.MaxPool("pool2", 2, 2));
+  b.Head({384, 192});
+  return model;
+}
+
+Result<Model> BuildAlexNet(const ModelOptions& options) {
+  ADR_RETURN_NOT_OK(ValidateCommon(options));
+  if (options.input_size < 47 || (options.input_size - 11) % 4 != 0) {
+    return Status::InvalidArgument(
+        "AlexNet needs input_size >= 47 with (input_size - 11) % 4 == 0 "
+        "(e.g. 67 scaled, 227 full)");
+  }
+  Model model;
+  model.name = "alexnet";
+  Builder b(options, &model);
+  ADR_RETURN_NOT_OK(b.Conv("conv1", 64, 11, 4, 0));
+  ADR_RETURN_NOT_OK(b.MaxPool("pool1", 3, 2));
+  if (options.use_lrn) {
+    model.network.Add(std::make_unique<LocalResponseNorm>("lrn1"));
+  }
+  ADR_RETURN_NOT_OK(b.Conv("conv2", 192, 5, 1, 2));
+  ADR_RETURN_NOT_OK(b.MaxPool("pool2", 3, 2));
+  if (options.use_lrn) {
+    model.network.Add(std::make_unique<LocalResponseNorm>("lrn2"));
+  }
+  ADR_RETURN_NOT_OK(b.Conv("conv3", 384, 3, 1, 1));
+  ADR_RETURN_NOT_OK(b.Conv("conv4", 384, 3, 1, 1));
+  ADR_RETURN_NOT_OK(b.Conv("conv5", 256, 3, 1, 1));
+  ADR_RETURN_NOT_OK(b.MaxPool("pool5", 3, 2));
+  b.Head({4096, 4096});
+  return model;
+}
+
+Result<Model> BuildVgg19(const ModelOptions& options) {
+  ADR_RETURN_NOT_OK(ValidateCommon(options));
+  if (options.input_size < 32 || options.input_size % 32 != 0) {
+    return Status::InvalidArgument(
+        "VGG-19 needs input_size divisible by 32 (e.g. 32 scaled, 224 "
+        "full)");
+  }
+  Model model;
+  model.name = "vgg19";
+  Builder b(options, &model);
+  const int64_t block_channels[5] = {64, 128, 256, 512, 512};
+  const int block_convs[5] = {2, 2, 4, 4, 4};
+  int conv_index = 1;
+  for (int block = 0; block < 5; ++block) {
+    for (int i = 0; i < block_convs[block]; ++i) {
+      const std::string name = "conv" + std::to_string(conv_index++);
+      ADR_RETURN_NOT_OK(b.Conv(name, block_channels[block], 3, 1, 1));
+    }
+    ADR_RETURN_NOT_OK(
+        b.MaxPool("pool" + std::to_string(block + 1), 2, 2));
+  }
+  b.Head({4096, 4096});
+  return model;
+}
+
+Result<Model> BuildModel(const std::string& name,
+                         const ModelOptions& options) {
+  if (name == "cifarnet") return BuildCifarNet(options);
+  if (name == "alexnet") return BuildAlexNet(options);
+  if (name == "vgg19") return BuildVgg19(options);
+  return Status::NotFound("unknown model: " + name);
+}
+
+namespace {
+
+Status CopyTensorList(const std::vector<Tensor*>& src,
+                      const std::vector<Tensor*>& dst,
+                      const std::string& what) {
+  if (src.size() != dst.size()) {
+    return Status::InvalidArgument(
+        what + " count mismatch: " + std::to_string(src.size()) + " vs " +
+        std::to_string(dst.size()));
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (!src[i]->SameShape(*dst[i])) {
+      return Status::InvalidArgument(what + " " + std::to_string(i) +
+                                     " shape mismatch");
+    }
+    *dst[i] = *src[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CopyWeights(const Model& baseline, Model* reuse) {
+  ADR_RETURN_NOT_OK(CopyTensorList(baseline.network.Parameters(),
+                                   reuse->network.Parameters(),
+                                   "parameter"));
+  // Non-learnable state (BatchNorm running statistics) must travel with
+  // the weights or inference-mode twins see garbage normalizer stats.
+  return CopyTensorList(baseline.network.StateTensors(),
+                        reuse->network.StateTensors(), "state tensor");
+}
+
+}  // namespace adr

@@ -1,0 +1,88 @@
+// Benchmark network builders (paper Table II): CifarNet (2 conv layers),
+// AlexNet (5 conv layers) and VGG-19 (16 conv layers).
+//
+// Every network can be built in baseline mode (plain Conv2d) or reuse mode
+// (ReuseConv2d). Full-size definitions match the paper's geometry
+// (K = 75..1600 for CifarNet, 363..3456 for AlexNet, 27..4608 for VGG-19);
+// a `width` multiplier and a reduced `input_size` produce scaled variants
+// that keep the same layer structure but are trainable on one CPU core
+// (see DESIGN.md, substitutions).
+
+#ifndef ADR_MODELS_MODELS_H_
+#define ADR_MODELS_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/reuse_config.h"
+#include "core/reuse_conv2d.h"
+#include "nn/conv2d.h"
+#include "nn/network.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace adr {
+
+/// \brief Options shared by all model builders.
+struct ModelOptions {
+  int num_classes = 10;
+  int64_t input_channels = 3;
+  /// Input height == width. Must satisfy the network's geometry (see each
+  /// builder's documentation); builders validate and return
+  /// InvalidArgument otherwise.
+  int64_t input_size = 32;
+  /// Channel multiplier in (0, 1]: out_channels = max(4, round(width * c)).
+  double width = 1.0;
+  /// Multiplier for the fully connected head sizes.
+  double fc_width = 1.0;
+  /// Inserts BatchNorm2d between each conv and its ReLU. Off by default
+  /// (the paper's networks predate widespread BN); needed in practice to
+  /// train the scaled VGG-19 variant on one CPU core.
+  bool batch_norm = false;
+  /// Inserts AlexNet's LocalResponseNorm after pool1/pool2 (AlexNet only;
+  /// ignored by the other builders). Off by default: LRN is slow on CPU
+  /// and does not change the reuse behaviour under study.
+  bool use_lrn = false;
+  /// Build ReuseConv2d layers instead of Conv2d.
+  bool use_reuse = false;
+  /// Initial reuse configuration for every reuse layer.
+  ReuseConfig reuse;
+  uint64_t seed = 1;
+};
+
+/// \brief A built network plus typed pointers to its conv layers.
+struct Model {
+  std::string name;
+  Network network;
+  std::vector<Conv2d*> conv_layers;        ///< baseline mode
+  std::vector<ReuseConv2d*> reuse_layers;  ///< reuse mode
+};
+
+/// \brief CifarNet: conv5x5(64)-pool-conv5x5(64)-pool-fc384-fc192-fc.
+/// Requires input_size divisible by 4 and >= 8. Natural size: 32.
+Result<Model> BuildCifarNet(const ModelOptions& options);
+
+/// \brief AlexNet (slim v2 geometry): conv11x11/4(64)-pool3/2-
+/// conv5x5(192)-pool3/2-conv3x3(384)-conv3x3(384)-conv3x3(256)-pool3/2-fc.
+/// Requires (input_size - 11) % 4 == 0 and enough spatial extent for the
+/// three pools; natural sizes: 227 (full) and 67 (scaled).
+Result<Model> BuildAlexNet(const ModelOptions& options);
+
+/// \brief VGG-19: 16 conv3x3 layers in blocks (2,2,4,4,4) with channels
+/// (64,128,256,512,512), each block followed by pool2/2, then the fc head.
+/// Requires input_size divisible by 32; natural sizes: 224 (full) and 32
+/// (scaled).
+Result<Model> BuildVgg19(const ModelOptions& options);
+
+/// \brief Builds the named network ("cifarnet" | "alexnet" | "vgg19").
+Result<Model> BuildModel(const std::string& name,
+                         const ModelOptions& options);
+
+/// \brief Copies weights from a baseline-mode model into a reuse-mode model
+/// of identical options (conv and dense weights both). Fails on any shape
+/// mismatch.
+Status CopyWeights(const Model& baseline, Model* reuse);
+
+}  // namespace adr
+
+#endif  // ADR_MODELS_MODELS_H_

@@ -1,0 +1,54 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace adr {
+
+Tensor Relu::Forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  mask_ = Tensor(input.shape());
+  float* o = out.data();
+  float* m = mask_.data();
+  const int64_t n = out.num_elements();
+  for (int64_t i = 0; i < n; ++i) {
+    if (o[i] > 0.0f) {
+      m[i] = 1.0f;
+    } else {
+      o[i] = 0.0f;
+      m[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor Relu::Backward(const Tensor& grad_output) {
+  ADR_CHECK(grad_output.SameShape(mask_)) << "Backward before Forward";
+  Tensor grad = grad_output;
+  float* g = grad.data();
+  const float* m = mask_.data();
+  const int64_t n = grad.num_elements();
+  for (int64_t i = 0; i < n; ++i) g[i] *= m[i];
+  return grad;
+}
+
+Tensor Tanh::Forward(const Tensor& input, bool /*training*/) {
+  output_ = input;
+  float* o = output_.data();
+  const int64_t n = output_.num_elements();
+  for (int64_t i = 0; i < n; ++i) o[i] = std::tanh(o[i]);
+  return output_;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  ADR_CHECK(grad_output.SameShape(output_)) << "Backward before Forward";
+  Tensor grad = grad_output;
+  float* g = grad.data();
+  const float* o = output_.data();
+  const int64_t n = grad.num_elements();
+  for (int64_t i = 0; i < n; ++i) g[i] *= 1.0f - o[i] * o[i];
+  return grad;
+}
+
+}  // namespace adr

@@ -1,0 +1,84 @@
+#include "nn/checkpoint.h"
+
+#include <cstring>
+
+#include "util/serialize.h"
+
+namespace adr {
+
+namespace {
+constexpr char kMagic[8] = {'A', 'D', 'R', 'C', 'K', 'P', 'T', '1'};
+}  // namespace
+
+Status SaveCheckpoint(const Network& network, const std::string& path) {
+  BinaryWriter writer;
+  ADR_RETURN_NOT_OK(BinaryWriter::Open(path, &writer));
+  ADR_RETURN_NOT_OK(writer.WriteString(std::string(kMagic, sizeof(kMagic))));
+
+  // Learnable parameters followed by non-learnable state (BatchNorm
+  // running statistics) — both are needed to reproduce inference.
+  std::vector<Tensor*> params = network.Parameters();
+  for (Tensor* state : network.StateTensors()) params.push_back(state);
+  ADR_RETURN_NOT_OK(writer.WriteU64(params.size()));
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Tensor* param = params[i];
+    ADR_RETURN_NOT_OK(writer.WriteString(std::to_string(i)));
+    ADR_RETURN_NOT_OK(writer.WriteU64(
+        static_cast<uint64_t>(param->shape().rank())));
+    for (int64_t dim : param->shape().dims()) {
+      ADR_RETURN_NOT_OK(writer.WriteI64(dim));
+    }
+    ADR_RETURN_NOT_OK(writer.WriteFloats(
+        param->data(), static_cast<size_t>(param->num_elements())));
+  }
+  return writer.Close();
+}
+
+Status LoadCheckpoint(const std::string& path, Network* network) {
+  BinaryReader reader;
+  ADR_RETURN_NOT_OK(BinaryReader::Open(path, &reader));
+
+  std::string magic;
+  ADR_RETURN_NOT_OK(reader.ReadString(&magic, sizeof(kMagic)));
+  if (magic.size() != sizeof(kMagic) ||
+      std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an ADR checkpoint: " + path);
+  }
+
+  std::vector<Tensor*> params = network->Parameters();
+  for (Tensor* state : network->StateTensors()) params.push_back(state);
+  uint64_t count = 0;
+  ADR_RETURN_NOT_OK(reader.ReadU64(&count));
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " parameters, network " +
+        std::to_string(params.size()));
+  }
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::string name;
+    ADR_RETURN_NOT_OK(reader.ReadString(&name, 64));
+    uint64_t rank = 0;
+    ADR_RETURN_NOT_OK(reader.ReadU64(&rank));
+    if (rank > 8) {
+      return Status::InvalidArgument("implausible parameter rank");
+    }
+    std::vector<int64_t> dims(static_cast<size_t>(rank));
+    for (auto& dim : dims) {
+      ADR_RETURN_NOT_OK(reader.ReadI64(&dim));
+      if (dim <= 0) return Status::InvalidArgument("non-positive dimension");
+    }
+    const Shape stored(dims);
+    if (stored != params[i]->shape()) {
+      return Status::InvalidArgument(
+          "parameter " + std::to_string(i) + " shape mismatch: checkpoint " +
+          stored.ToString() + " vs network " +
+          params[i]->shape().ToString());
+    }
+    ADR_RETURN_NOT_OK(reader.ReadFloats(
+        params[i]->data(), static_cast<size_t>(params[i]->num_elements())));
+  }
+  return Status::OK();
+}
+
+}  // namespace adr

@@ -1,0 +1,33 @@
+// Network checkpointing: saves and restores all learnable parameters.
+//
+// File format (binary, little-endian):
+//   magic "ADRCKPT1" (8 bytes)
+//   u64 parameter count
+//   per parameter: string name ("<index>" today), u64 rank, i64 dims...,
+//                  length-prefixed float data.
+// Loading validates every shape against the target network, so a
+// checkpoint can only be restored into an architecturally identical model.
+
+#ifndef ADR_NN_CHECKPOINT_H_
+#define ADR_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/network.h"
+#include "util/status.h"
+
+namespace adr {
+
+/// \brief Writes all parameters of `network` to `path`.
+Status SaveCheckpoint(const Network& network, const std::string& path);
+
+/// \brief Restores parameters from `path` into `network`.
+///
+/// Returns InvalidArgument when the parameter count or any shape differs
+/// from the target network, leaving already-copied parameters modified
+/// (callers should treat a failed load as fatal for the model instance).
+Status LoadCheckpoint(const std::string& path, Network* network);
+
+}  // namespace adr
+
+#endif  // ADR_NN_CHECKPOINT_H_

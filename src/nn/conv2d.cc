@@ -1,0 +1,122 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace adr {
+
+Tensor RowsToNchw(const Tensor& rows, int64_t batch, int64_t channels,
+                  int64_t height, int64_t width) {
+  ADR_CHECK(rows.shape() == Shape({batch * height * width, channels}));
+  Tensor out(Shape({batch, channels, height, width}));
+  const float* src = rows.data();
+  float* dst = out.data();
+  const int64_t hw = height * width;
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t p = 0; p < hw; ++p) {
+      const float* row = src + (n * hw + p) * channels;
+      for (int64_t c = 0; c < channels; ++c) {
+        dst[(n * channels + c) * hw + p] = row[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor NchwToRows(const Tensor& nchw) {
+  ADR_CHECK_EQ(nchw.shape().rank(), 4);
+  const int64_t batch = nchw.shape()[0], channels = nchw.shape()[1];
+  const int64_t height = nchw.shape()[2], width = nchw.shape()[3];
+  const int64_t hw = height * width;
+  Tensor out(Shape({batch * hw, channels}));
+  const float* src = nchw.data();
+  float* dst = out.data();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t p = 0; p < hw; ++p) {
+      float* row = dst + (n * hw + p) * channels;
+      for (int64_t c = 0; c < channels; ++c) {
+        row[c] = src[(n * channels + c) * hw + p];
+      }
+    }
+  }
+  return out;
+}
+
+Conv2d::Conv2d(std::string name, const Conv2dConfig& config, Rng* rng)
+    : name_(std::move(name)), config_(config) {
+  const int64_t k =
+      config_.in_channels * config_.kernel * config_.kernel;
+  const int64_t m = config_.out_channels;
+  ADR_CHECK_GT(k, 0);
+  ADR_CHECK_GT(m, 0);
+  // He-normal initialization: stddev = sqrt(2 / fan_in).
+  const float stddev = std::sqrt(2.0f / static_cast<float>(k));
+  weight_ = Tensor::RandomGaussian(Shape({k, m}), rng, 0.0f, stddev);
+  bias_ = Tensor(Shape({m}));
+  grad_weight_ = Tensor(Shape({k, m}));
+  grad_bias_ = Tensor(Shape({m}));
+}
+
+ConvGeometry Conv2d::Geometry(int64_t batch) const {
+  ConvGeometry geo;
+  geo.batch = batch;
+  geo.in_channels = config_.in_channels;
+  geo.in_height = config_.in_height;
+  geo.in_width = config_.in_width;
+  geo.kernel_h = config_.kernel;
+  geo.kernel_w = config_.kernel;
+  geo.stride = config_.stride;
+  geo.pad = config_.pad;
+  return geo;
+}
+
+Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
+  const int64_t batch = input.shape()[0];
+  const ConvGeometry geo = Geometry(batch);
+  const int64_t n = geo.unfolded_rows();
+  const int64_t k = geo.unfolded_cols();
+  const int64_t m = config_.out_channels;
+
+  cached_cols_ = Tensor(Shape({n, k}));
+  Im2Col(geo, input, &cached_cols_);
+  cached_batch_ = batch;
+
+  Tensor y_rows(Shape({n, m}));
+  Gemm(cached_cols_.data(), weight_.data(), y_rows.data(), n, k, m);
+  AddRowBias(bias_, &y_rows);
+  return RowsToNchw(y_rows, batch, m, geo.out_height(), geo.out_width());
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  ADR_CHECK_GT(cached_batch_, 0) << "Backward before Forward";
+  const ConvGeometry geo = Geometry(cached_batch_);
+  const int64_t n = geo.unfolded_rows();
+  const int64_t k = geo.unfolded_cols();
+  const int64_t m = config_.out_channels;
+
+  const Tensor dy = NchwToRows(grad_output);  // [N, M]
+  ADR_CHECK(dy.shape() == Shape({n, m}));
+
+  // dW = x^T * dy  (Eq. 2); db = column sums of dy.
+  GemmTransA(cached_cols_.data(), dy.data(), grad_weight_.data(), k, n, m);
+  grad_bias_ = ColumnSums(dy);
+
+  // dx_cols = dy * W^T  (Eq. 3), folded back through col2im.
+  Tensor dx_cols(Shape({n, k}));
+  GemmTransB(dy.data(), weight_.data(), dx_cols.data(), n, m, k);
+  Tensor grad_input(Shape(
+      {cached_batch_, config_.in_channels, config_.in_height, config_.in_width}));
+  Col2Im(geo, dx_cols, &grad_input);
+  return grad_input;
+}
+
+double Conv2d::ForwardMacs(int64_t batch) const {
+  const ConvGeometry geo = Geometry(batch);
+  return static_cast<double>(geo.unfolded_rows()) * geo.unfolded_cols() *
+         config_.out_channels;
+}
+
+}  // namespace adr

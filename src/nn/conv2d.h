@@ -1,0 +1,73 @@
+// Conv2d: im2col + GEMM convolution, the baseline that deep reuse
+// accelerates. Weight layout is the paper's: W is K x M with
+// K = Ic*kh*kw and M = out_channels, so y = x_unfolded * W + b.
+
+#ifndef ADR_NN_CONV2D_H_
+#define ADR_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace adr {
+
+/// \brief Spatial configuration of a conv layer (geometry minus batch size).
+struct Conv2dConfig {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 0;  ///< square kernel, kh == kw
+  int64_t stride = 1;
+  int64_t pad = 0;
+  int64_t in_height = 0;  ///< expected input spatial size
+  int64_t in_width = 0;
+};
+
+/// \brief Converts GEMM-output rows [N, M] (row order n, oy, ox) to a
+/// [Nb, M, Oh, Ow] tensor.
+Tensor RowsToNchw(const Tensor& rows, int64_t batch, int64_t channels,
+                  int64_t height, int64_t width);
+
+/// \brief Inverse of RowsToNchw.
+Tensor NchwToRows(const Tensor& nchw);
+
+/// \brief Standard convolution layer.
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::string name, const Conv2dConfig& config, Rng* rng);
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Gradients() override {
+    return {&grad_weight_, &grad_bias_};
+  }
+  double ForwardMacs(int64_t batch) const override;
+
+  const Conv2dConfig& config() const { return config_; }
+  /// \brief Geometry for the given batch size.
+  ConvGeometry Geometry(int64_t batch) const;
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  std::string name_;
+  Conv2dConfig config_;
+  Tensor weight_;       ///< [K, M]
+  Tensor bias_;         ///< [M]
+  Tensor grad_weight_;  ///< [K, M]
+  Tensor grad_bias_;    ///< [M]
+  Tensor cached_cols_;  ///< unfolded input from the last Forward, [N, K]
+  int64_t cached_batch_ = 0;
+};
+
+}  // namespace adr
+
+#endif  // ADR_NN_CONV2D_H_

@@ -1,0 +1,59 @@
+// Dense (fully connected) layer and Flatten adapter.
+
+#ifndef ADR_NN_DENSE_H_
+#define ADR_NN_DENSE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace adr {
+
+/// \brief Fully connected layer: y = x * W + b, x is [N, in], W [in, out].
+class Dense : public Layer {
+ public:
+  Dense(std::string name, int64_t in_features, int64_t out_features,
+        Rng* rng);
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Gradients() override {
+    return {&grad_weight_, &grad_bias_};
+  }
+  double ForwardMacs(int64_t batch) const override {
+    return static_cast<double>(batch) * in_features_ * out_features_;
+  }
+
+ private:
+  std::string name_;
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;
+  Tensor bias_;
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  Tensor cached_input_;
+};
+
+/// \brief Flattens [N, C, H, W] to [N, C*H*W]; restores the shape on the
+/// way back.
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string name) : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::string name_;
+  Shape input_shape_;
+};
+
+}  // namespace adr
+
+#endif  // ADR_NN_DENSE_H_

@@ -1,0 +1,46 @@
+#include "nn/dropout.h"
+
+#include "util/check.h"
+
+namespace adr {
+
+Dropout::Dropout(std::string name, float drop_prob, Rng* rng)
+    : name_(std::move(name)), drop_prob_(drop_prob), rng_(rng->Split()) {
+  ADR_CHECK(drop_prob >= 0.0f && drop_prob < 1.0f)
+      << "drop_prob must be in [0, 1), got " << drop_prob;
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool training) {
+  last_was_training_ = training;
+  if (!training || drop_prob_ == 0.0f) return input;
+  const float keep = 1.0f - drop_prob_;
+  const float scale = 1.0f / keep;
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  float* m = mask_.data();
+  float* o = out.data();
+  const int64_t n = out.num_elements();
+  for (int64_t i = 0; i < n; ++i) {
+    if (rng_.NextDouble() < drop_prob_) {
+      m[i] = 0.0f;
+      o[i] = 0.0f;
+    } else {
+      m[i] = scale;
+      o[i] *= scale;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (!last_was_training_ || drop_prob_ == 0.0f) return grad_output;
+  ADR_CHECK(grad_output.SameShape(mask_)) << "Backward before Forward";
+  Tensor grad = grad_output;
+  float* g = grad.data();
+  const float* m = mask_.data();
+  const int64_t n = grad.num_elements();
+  for (int64_t i = 0; i < n; ++i) g[i] *= m[i];
+  return grad;
+}
+
+}  // namespace adr

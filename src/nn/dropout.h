@@ -1,0 +1,34 @@
+// Inverted dropout.
+
+#ifndef ADR_NN_DROPOUT_H_
+#define ADR_NN_DROPOUT_H_
+
+#include <string>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace adr {
+
+/// \brief Inverted dropout: at training time each element is zeroed with
+/// probability `drop_prob` and survivors are scaled by 1/(1-p); identity at
+/// inference.
+class Dropout : public Layer {
+ public:
+  Dropout(std::string name, float drop_prob, Rng* rng);
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::string name_;
+  float drop_prob_;
+  Rng rng_;
+  Tensor mask_;
+  bool last_was_training_ = false;
+};
+
+}  // namespace adr
+
+#endif  // ADR_NN_DROPOUT_H_

@@ -1,0 +1,44 @@
+#include "nn/gradient_clip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace adr {
+
+double GlobalGradientNorm(const std::vector<Tensor*>& grads) {
+  double sum_sq = 0.0;
+  for (const Tensor* grad : grads) {
+    sum_sq += SquaredNorm(*grad);
+  }
+  return std::sqrt(sum_sq);
+}
+
+double ClipGradientsByGlobalNorm(const std::vector<Tensor*>& grads,
+                                 double max_norm) {
+  ADR_CHECK_GT(max_norm, 0.0);
+  const double norm = GlobalGradientNorm(grads);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Tensor* grad : grads) {
+      ScaleInPlace(scale, grad);
+    }
+  }
+  return norm;
+}
+
+void ClipGradientsByValue(const std::vector<Tensor*>& grads,
+                          float max_value) {
+  ADR_CHECK_GT(max_value, 0.0f);
+  for (Tensor* grad : grads) {
+    float* g = grad->data();
+    const int64_t n = grad->num_elements();
+    for (int64_t i = 0; i < n; ++i) {
+      g[i] = std::clamp(g[i], -max_value, max_value);
+    }
+  }
+}
+
+}  // namespace adr

@@ -1,0 +1,26 @@
+// Gradient clipping utilities applied between Backward and Optimizer::Step.
+
+#ifndef ADR_NN_GRADIENT_CLIP_H_
+#define ADR_NN_GRADIENT_CLIP_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adr {
+
+/// \brief L2 norm over all gradients together.
+double GlobalGradientNorm(const std::vector<Tensor*>& grads);
+
+/// \brief Scales all gradients by max_norm/norm when the global norm
+/// exceeds `max_norm`; returns the pre-clip norm.
+double ClipGradientsByGlobalNorm(const std::vector<Tensor*>& grads,
+                                 double max_norm);
+
+/// \brief Clamps each gradient element to [-max_value, max_value].
+void ClipGradientsByValue(const std::vector<Tensor*>& grads,
+                          float max_value);
+
+}  // namespace adr
+
+#endif  // ADR_NN_GRADIENT_CLIP_H_

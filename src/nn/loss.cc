@@ -1,0 +1,104 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace adr {
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels) {
+  ADR_CHECK_EQ(logits.shape().rank(), 2);
+  const int64_t n = logits.shape()[0];
+  const int64_t classes = logits.shape()[1];
+  ADR_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+
+  LossResult result;
+  result.grad_logits = Tensor(logits.shape());
+  const float* in = logits.data();
+  float* grad = result.grad_logits.data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double total_loss = 0.0;
+
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = in + i * classes;
+    float* grow = grad + i * classes;
+    const int label = labels[static_cast<size_t>(i)];
+    ADR_CHECK(label >= 0 && label < classes) << "label out of range";
+
+    float max_logit = row[0];
+    int64_t argmax = 0;
+    for (int64_t j = 1; j < classes; ++j) {
+      if (row[j] > max_logit) {
+        max_logit = row[j];
+        argmax = j;
+      }
+    }
+    if (argmax == label) ++result.num_correct;
+
+    double sum_exp = 0.0;
+    for (int64_t j = 0; j < classes; ++j) {
+      sum_exp += std::exp(static_cast<double>(row[j] - max_logit));
+    }
+    const double log_sum = std::log(sum_exp);
+    total_loss += log_sum - static_cast<double>(row[label] - max_logit);
+
+    for (int64_t j = 0; j < classes; ++j) {
+      const double p =
+          std::exp(static_cast<double>(row[j] - max_logit)) / sum_exp;
+      grow[j] = static_cast<float>(p) * inv_n;
+    }
+    grow[label] -= inv_n;
+  }
+  result.loss = total_loss / static_cast<double>(n);
+  return result;
+}
+
+Tensor Softmax(const Tensor& logits) {
+  ADR_CHECK_EQ(logits.shape().rank(), 2);
+  const int64_t n = logits.shape()[0];
+  const int64_t classes = logits.shape()[1];
+  Tensor out(logits.shape());
+  const float* in = logits.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = in + i * classes;
+    float* orow = dst + i * classes;
+    const float max_logit = *std::max_element(row, row + classes);
+    double sum_exp = 0.0;
+    for (int64_t j = 0; j < classes; ++j) {
+      const double e = std::exp(static_cast<double>(row[j] - max_logit));
+      orow[j] = static_cast<float>(e);
+      sum_exp += e;
+    }
+    const float inv = static_cast<float>(1.0 / sum_exp);
+    for (int64_t j = 0; j < classes; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+LossResult MeanSquaredError(const Tensor& predictions,
+                            const Tensor& targets) {
+  ADR_CHECK(predictions.SameShape(targets));
+  const int64_t total = predictions.num_elements();
+  const int64_t n = predictions.shape().rank() > 0
+                        ? predictions.shape()[0]
+                        : int64_t{1};
+  LossResult result;
+  result.grad_logits = Tensor(predictions.shape());
+  const float* p = predictions.data();
+  const float* t = targets.data();
+  float* g = result.grad_logits.data();
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < total; ++i) {
+    const float diff = p[i] - t[i];
+    loss += 0.5 * static_cast<double>(diff) * diff;
+    g[i] = diff * inv_n;
+  }
+  result.loss = loss / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace adr

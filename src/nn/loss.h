@@ -1,0 +1,35 @@
+// Losses. SoftmaxCrossEntropy is the classification head used by all three
+// benchmark networks.
+
+#ifndef ADR_NN_LOSS_H_
+#define ADR_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adr {
+
+/// \brief Loss value and gradient w.r.t. the logits for one batch.
+struct LossResult {
+  double loss = 0.0;       ///< mean over the batch
+  Tensor grad_logits;      ///< [N, classes], already divided by N
+  int64_t num_correct = 0; ///< argmax(logits) == label count
+};
+
+/// \brief Numerically stable softmax + cross-entropy over integer labels.
+///
+/// `logits` is [N, classes]; `labels[i]` in [0, classes).
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels);
+
+/// \brief Row-wise softmax probabilities (for inspection / examples).
+Tensor Softmax(const Tensor& logits);
+
+/// \brief Mean squared error 1/(2N) * sum (pred - target)^2 with gradient.
+LossResult MeanSquaredError(const Tensor& predictions, const Tensor& targets);
+
+}  // namespace adr
+
+#endif  // ADR_NN_LOSS_H_

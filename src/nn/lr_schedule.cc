@@ -1,0 +1,30 @@
+#include "nn/lr_schedule.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace adr {
+
+float StepDecayLr::LearningRate(int64_t step) const {
+  ADR_CHECK_GT(interval_, 0);
+  const int64_t decays = step / interval_;
+  return initial_ * std::pow(decay_, static_cast<float>(decays));
+}
+
+float WarmupCosineLr::LearningRate(int64_t step) const {
+  ADR_CHECK_GE(warmup_steps_, 0);
+  ADR_CHECK_GT(total_steps_, warmup_steps_);
+  if (step < warmup_steps_) {
+    return peak_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  if (step >= total_steps_) return floor_;
+  const double progress =
+      static_cast<double>(step - warmup_steps_) /
+      static_cast<double>(total_steps_ - warmup_steps_);
+  const double cosine = 0.5 * (1.0 + std::cos(M_PI * progress));
+  return floor_ + (peak_ - floor_) * static_cast<float>(cosine);
+}
+
+}  // namespace adr

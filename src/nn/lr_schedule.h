@@ -1,0 +1,69 @@
+// Learning-rate schedules applied on top of any Optimizer.
+
+#ifndef ADR_NN_LR_SCHEDULE_H_
+#define ADR_NN_LR_SCHEDULE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/optimizer.h"
+
+namespace adr {
+
+/// \brief Maps a step index to a learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float LearningRate(int64_t step) const = 0;
+
+  /// \brief Convenience: applies the schedule's rate for `step`.
+  void Apply(int64_t step, Optimizer* optimizer) const {
+    optimizer->set_learning_rate(LearningRate(step));
+  }
+};
+
+/// \brief Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float rate) : rate_(rate) {}
+  float LearningRate(int64_t) const override { return rate_; }
+
+ private:
+  float rate_;
+};
+
+/// \brief Step decay: rate * decay^(step / interval).
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float initial, float decay, int64_t interval)
+      : initial_(initial), decay_(decay), interval_(interval) {}
+  float LearningRate(int64_t step) const override;
+
+ private:
+  float initial_;
+  float decay_;
+  int64_t interval_;
+};
+
+/// \brief Linear warmup to `peak` over `warmup_steps`, then cosine decay
+/// to `floor` at `total_steps` (clamped to the floor afterwards).
+class WarmupCosineLr : public LrSchedule {
+ public:
+  WarmupCosineLr(float peak, int64_t warmup_steps, int64_t total_steps,
+                 float floor = 0.0f)
+      : peak_(peak),
+        warmup_steps_(warmup_steps),
+        total_steps_(total_steps),
+        floor_(floor) {}
+  float LearningRate(int64_t step) const override;
+
+ private:
+  float peak_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+  float floor_;
+};
+
+}  // namespace adr
+
+#endif  // ADR_NN_LR_SCHEDULE_H_

@@ -1,0 +1,223 @@
+#include "nn/normalization.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace adr {
+
+BatchNorm2d::BatchNorm2d(std::string name, int64_t channels, float momentum,
+                         float epsilon)
+    : name_(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(Tensor::Ones(Shape({channels}))),
+      beta_(Tensor(Shape({channels}))),
+      grad_gamma_(Tensor(Shape({channels}))),
+      grad_beta_(Tensor(Shape({channels}))),
+      running_mean_(Tensor(Shape({channels}))),
+      running_var_(Tensor::Ones(Shape({channels}))) {
+  ADR_CHECK_GT(channels, 0);
+}
+
+Tensor BatchNorm2d::Forward(const Tensor& input, bool training) {
+  ADR_CHECK_EQ(input.shape().rank(), 4);
+  ADR_CHECK_EQ(input.shape()[1], channels_);
+  const int64_t batch = input.shape()[0];
+  const int64_t hw = input.shape()[2] * input.shape()[3];
+  const int64_t per_channel = batch * hw;
+  last_was_training_ = training;
+
+  Tensor mean(Shape({channels_}));
+  Tensor var(Shape({channels_}));
+  if (training) {
+    const float* src = input.data();
+    for (int64_t c = 0; c < channels_; ++c) {
+      double sum = 0.0, sum_sq = 0.0;
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* plane = src + (n * channels_ + c) * hw;
+        for (int64_t p = 0; p < hw; ++p) {
+          sum += plane[p];
+          sum_sq += static_cast<double>(plane[p]) * plane[p];
+        }
+      }
+      const double m = sum / static_cast<double>(per_channel);
+      mean.at(c) = static_cast<float>(m);
+      var.at(c) = static_cast<float>(
+          sum_sq / static_cast<double>(per_channel) - m * m);
+    }
+    for (int64_t c = 0; c < channels_; ++c) {
+      running_mean_.at(c) =
+          momentum_ * running_mean_.at(c) + (1.0f - momentum_) * mean.at(c);
+      running_var_.at(c) =
+          momentum_ * running_var_.at(c) + (1.0f - momentum_) * var.at(c);
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  batch_inv_std_ = Tensor(Shape({channels_}));
+  for (int64_t c = 0; c < channels_; ++c) {
+    batch_inv_std_.at(c) = 1.0f / std::sqrt(var.at(c) + epsilon_);
+  }
+
+  normalized_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  const float* src = input.data();
+  float* norm = normalized_.data();
+  float* dst = out.data();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float m = mean.at(c);
+      const float inv = batch_inv_std_.at(c);
+      const float g = gamma_.at(c);
+      const float b = beta_.at(c);
+      const int64_t base = (n * channels_ + c) * hw;
+      for (int64_t p = 0; p < hw; ++p) {
+        const float x_hat = (src[base + p] - m) * inv;
+        norm[base + p] = x_hat;
+        dst[base + p] = g * x_hat + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
+  ADR_CHECK(grad_output.SameShape(normalized_)) << "Backward before Forward";
+  const int64_t batch = grad_output.shape()[0];
+  const int64_t hw = grad_output.shape()[2] * grad_output.shape()[3];
+  const int64_t per_channel = batch * hw;
+
+  grad_gamma_.SetZero();
+  grad_beta_.SetZero();
+  const float* dy = grad_output.data();
+  const float* x_hat = normalized_.data();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const int64_t base = (n * channels_ + c) * hw;
+      double dg = 0.0, db = 0.0;
+      for (int64_t p = 0; p < hw; ++p) {
+        dg += static_cast<double>(dy[base + p]) * x_hat[base + p];
+        db += dy[base + p];
+      }
+      grad_gamma_.at(c) += static_cast<float>(dg);
+      grad_beta_.at(c) += static_cast<float>(db);
+    }
+  }
+
+  Tensor grad_input(grad_output.shape());
+  float* dx = grad_input.data();
+  if (!last_was_training_) {
+    // Inference-mode backward (running stats are constants):
+    // dx = dy * gamma * inv_std.
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t c = 0; c < channels_; ++c) {
+        const float scale = gamma_.at(c) * batch_inv_std_.at(c);
+        const int64_t base = (n * channels_ + c) * hw;
+        for (int64_t p = 0; p < hw; ++p) {
+          dx[base + p] = dy[base + p] * scale;
+        }
+      }
+    }
+    return grad_input;
+  }
+
+  // Training-mode backward:
+  // dx = gamma*inv_std/N * (N*dy - sum(dy) - x_hat * sum(dy*x_hat)).
+  const float inv_n = 1.0f / static_cast<float>(per_channel);
+  for (int64_t c = 0; c < channels_; ++c) {
+    const float sum_dy = grad_beta_.at(c);
+    const float sum_dy_xhat = grad_gamma_.at(c);
+    const float scale = gamma_.at(c) * batch_inv_std_.at(c) * inv_n;
+    for (int64_t n = 0; n < batch; ++n) {
+      const int64_t base = (n * channels_ + c) * hw;
+      for (int64_t p = 0; p < hw; ++p) {
+        dx[base + p] =
+            scale * (static_cast<float>(per_channel) * dy[base + p] -
+                     sum_dy - x_hat[base + p] * sum_dy_xhat);
+      }
+    }
+  }
+  return grad_input;
+}
+
+LocalResponseNorm::LocalResponseNorm(std::string name, int64_t size,
+                                     float alpha, float beta, float k)
+    : name_(std::move(name)), size_(size), alpha_(alpha), beta_(beta), k_(k) {
+  ADR_CHECK_GT(size, 0);
+}
+
+Tensor LocalResponseNorm::Forward(const Tensor& input, bool /*training*/) {
+  ADR_CHECK_EQ(input.shape().rank(), 4);
+  input_ = input;
+  const int64_t batch = input.shape()[0];
+  const int64_t channels = input.shape()[1];
+  const int64_t hw = input.shape()[2] * input.shape()[3];
+  const int64_t half = size_ / 2;
+  const float alpha_over_n = alpha_ / static_cast<float>(size_);
+
+  scale_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  const float* src = input.data();
+  float* sc = scale_.data();
+  float* dst = out.data();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < channels; ++c) {
+      const int64_t lo = std::max<int64_t>(0, c - half);
+      const int64_t hi = std::min<int64_t>(channels - 1, c + half);
+      const int64_t base = (n * channels + c) * hw;
+      for (int64_t p = 0; p < hw; ++p) {
+        float window = 0.0f;
+        for (int64_t cc = lo; cc <= hi; ++cc) {
+          const float v = src[(n * channels + cc) * hw + p];
+          window += v * v;
+        }
+        const float s = k_ + alpha_over_n * window;
+        sc[base + p] = s;
+        dst[base + p] = src[base + p] * std::pow(s, -beta_);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor LocalResponseNorm::Backward(const Tensor& grad_output) {
+  ADR_CHECK(grad_output.SameShape(input_)) << "Backward before Forward";
+  const int64_t batch = input_.shape()[0];
+  const int64_t channels = input_.shape()[1];
+  const int64_t hw = input_.shape()[2] * input_.shape()[3];
+  const int64_t half = size_ / 2;
+  const float alpha_over_n = alpha_ / static_cast<float>(size_);
+
+  Tensor grad_input(input_.shape());
+  const float* x = input_.data();
+  const float* sc = scale_.data();
+  const float* dy = grad_output.data();
+  float* dx = grad_input.data();
+  // dx_i = dy_i * s_i^-beta
+  //        - 2*alpha/n*beta * x_i * sum_{j: i in window(j)}
+  //              dy_j * x_j * s_j^{-beta-1}.
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < channels; ++c) {
+      const int64_t lo = std::max<int64_t>(0, c - half);
+      const int64_t hi = std::min<int64_t>(channels - 1, c + half);
+      const int64_t base = (n * channels + c) * hw;
+      for (int64_t p = 0; p < hw; ++p) {
+        float acc = dy[base + p] * std::pow(sc[base + p], -beta_);
+        float cross = 0.0f;
+        for (int64_t cc = lo; cc <= hi; ++cc) {
+          const int64_t j = (n * channels + cc) * hw + p;
+          cross += dy[j] * x[j] * std::pow(sc[j], -beta_ - 1.0f);
+        }
+        acc -= 2.0f * alpha_over_n * beta_ * x[base + p] * cross;
+        dx[base + p] = acc;
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace adr

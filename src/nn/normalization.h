@@ -1,0 +1,76 @@
+// Normalization layers: BatchNorm2d (per-channel batch normalization) and
+// LocalResponseNorm (the across-channel normalization AlexNet used).
+
+#ifndef ADR_NN_NORMALIZATION_H_
+#define ADR_NN_NORMALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace adr {
+
+/// \brief Per-channel batch normalization over NCHW tensors
+/// (Ioffe & Szegedy 2015), with learnable scale/shift and running
+/// statistics for inference.
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(std::string name, int64_t channels, float momentum = 0.9f,
+              float epsilon = 1e-5f);
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Parameters() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> Gradients() override {
+    return {&grad_gamma_, &grad_beta_};
+  }
+  std::vector<Tensor*> StateTensors() override {
+    return {&running_mean_, &running_var_};
+  }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::string name_;
+  int64_t channels_;
+  float momentum_;
+  float epsilon_;
+  Tensor gamma_;         ///< [C] scale, initialized to 1
+  Tensor beta_;          ///< [C] shift, initialized to 0
+  Tensor grad_gamma_;
+  Tensor grad_beta_;
+  Tensor running_mean_;  ///< [C]
+  Tensor running_var_;   ///< [C]
+  // Cached from the last training Forward for Backward.
+  Tensor normalized_;    ///< x_hat
+  Tensor batch_inv_std_; ///< [C]
+  bool last_was_training_ = false;
+};
+
+/// \brief AlexNet-style local response normalization across channels:
+/// y = x / (k + alpha/n * sum_{nearby channels} x^2)^beta.
+class LocalResponseNorm : public Layer {
+ public:
+  LocalResponseNorm(std::string name, int64_t size = 5, float alpha = 1e-4f,
+                    float beta = 0.75f, float k = 2.0f);
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::string name_;
+  int64_t size_;
+  float alpha_;
+  float beta_;
+  float k_;
+  Tensor input_;  ///< cached
+  Tensor scale_;  ///< k + alpha/n * window sums of x^2
+};
+
+}  // namespace adr
+
+#endif  // ADR_NN_NORMALIZATION_H_

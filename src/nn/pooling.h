@@ -1,0 +1,54 @@
+// Spatial pooling layers over NCHW tensors.
+
+#ifndef ADR_NN_POOLING_H_
+#define ADR_NN_POOLING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace adr {
+
+struct PoolConfig {
+  int64_t kernel = 2;
+  int64_t stride = 2;
+};
+
+/// \brief Max pooling; remembers argmax positions for the backward pass.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::string name, const PoolConfig& config)
+      : name_(std::move(name)), config_(config) {}
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::string name_;
+  PoolConfig config_;
+  Shape input_shape_;
+  std::vector<int64_t> argmax_;  ///< flat input index per output element
+};
+
+/// \brief Average pooling.
+class AvgPool2d : public Layer {
+ public:
+  AvgPool2d(std::string name, const PoolConfig& config)
+      : name_(std::move(name)), config_(config) {}
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  std::string name_;
+  PoolConfig config_;
+  Shape input_shape_;
+};
+
+}  // namespace adr
+
+#endif  // ADR_NN_POOLING_H_

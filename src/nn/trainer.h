@@ -1,0 +1,38 @@
+// Training-step and evaluation helpers shared by examples, strategies and
+// benches.
+
+#ifndef ADR_NN_TRAINER_H_
+#define ADR_NN_TRAINER_H_
+
+#include <cstdint>
+
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace adr {
+
+/// \brief Outcome of one optimization step.
+struct StepResult {
+  double loss = 0.0;
+  double accuracy = 0.0;  ///< training accuracy of this batch
+};
+
+/// \brief Forward + loss + backward + optimizer step on one batch.
+StepResult TrainStep(Network* network, Optimizer* optimizer,
+                     const Batch& batch);
+
+/// \brief Mean loss/accuracy over one batch without updating weights.
+StepResult EvaluateBatch(Network* network, const Batch& batch,
+                         bool training_mode = false);
+
+/// \brief Accuracy over the first `max_samples` samples of `dataset`,
+/// evaluated in batches of `batch_size` (inference mode).
+double EvaluateAccuracy(Network* network, const Dataset& dataset,
+                        int64_t batch_size, int64_t max_samples = -1);
+
+}  // namespace adr
+
+#endif  // ADR_NN_TRAINER_H_

@@ -1,0 +1,102 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace adr {
+
+namespace {
+
+// Block sizes tuned for a typical 32 KiB L1 / 256 KiB L2: the (i,k) panel of
+// A and the (k,j) panel of B both fit in L2 across the inner loops.
+constexpr int64_t kBlockM = 64;
+constexpr int64_t kBlockK = 128;
+constexpr int64_t kBlockN = 256;
+
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
+  }
+  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const int64_t i1 = std::min(i0 + kBlockM, m);
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const int64_t k1 = std::min(k0 + kBlockK, k);
+      for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const int64_t j1 = std::min(j0 + kBlockN, n);
+        for (int64_t i = i0; i < i1; ++i) {
+          float* c_row = c + i * n;
+          for (int64_t kk = k0; kk < k1; ++kk) {
+            const float a_ik = a[i * k + kk];
+            if (a_ik == 0.0f) continue;
+            const float* b_row = b + kk * n;
+            for (int64_t j = j0; j < j1; ++j) {
+              c_row[j] += a_ik * b_row[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void GemmTransA(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n, bool accumulate) {
+  // A is stored KxM; iterate over rows of A (the k index) so both A and B
+  // are streamed sequentially.
+  if (!accumulate) {
+    std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
+  }
+  for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const int64_t k1 = std::min(k0 + kBlockK, k);
+    for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+      const int64_t i1 = std::min(i0 + kBlockM, m);
+      for (int64_t kk = k0; kk < k1; ++kk) {
+        const float* a_row = a + kk * m;
+        const float* b_row = b + kk * n;
+        for (int64_t i = i0; i < i1; ++i) {
+          const float a_ki = a_row[i];
+          if (a_ki == 0.0f) continue;
+          float* c_row = c + i * n;
+          for (int64_t j = 0; j < n; ++j) {
+            c_row[j] += a_ki * b_row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void GemmTransB(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n, bool accumulate) {
+  // B is stored NxK; each C[i][j] is a dot product of contiguous rows.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float sum = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        sum += a_row[kk] * b_row[kk];
+      }
+      c_row[j] = accumulate ? c_row[j] + sum : sum;
+    }
+  }
+}
+
+void GemmReference(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float sum = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        sum += a[i * k + kk] * b[kk * n + j];
+      }
+      c[i * n + j] = sum;
+    }
+  }
+}
+
+}  // namespace adr

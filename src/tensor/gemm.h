@@ -1,0 +1,33 @@
+// Cache-blocked single-threaded GEMM kernels. These are the computational
+// core that deep reuse removes work from, so their absolute efficiency sets
+// the denominator of every reported saving.
+
+#ifndef ADR_TENSOR_GEMM_H_
+#define ADR_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace adr {
+
+/// \brief C = A * B (+ C if accumulate). A is MxK, B is KxN, C is MxN,
+/// all row-major and contiguous.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool accumulate = false);
+
+/// \brief C = A^T * B (+ C if accumulate). A is KxM (so A^T is MxK),
+/// B is KxN, C is MxN.
+void GemmTransA(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n, bool accumulate = false);
+
+/// \brief C = A * B^T (+ C if accumulate). A is MxK, B is NxK (so B^T is
+/// KxN), C is MxN.
+void GemmTransB(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n, bool accumulate = false);
+
+/// \brief Naive triple-loop reference used to validate the blocked kernels.
+void GemmReference(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n);
+
+}  // namespace adr
+
+#endif  // ADR_TENSOR_GEMM_H_

@@ -1,0 +1,104 @@
+#include "tensor/im2col.h"
+
+#include <string>
+
+namespace adr {
+
+Status ConvGeometry::Validate() const {
+  if (batch <= 0 || in_channels <= 0 || in_height <= 0 || in_width <= 0) {
+    return Status::InvalidArgument("conv geometry: input dims must be > 0");
+  }
+  if (kernel_h <= 0 || kernel_w <= 0) {
+    return Status::InvalidArgument("conv geometry: kernel dims must be > 0");
+  }
+  if (stride <= 0) {
+    return Status::InvalidArgument("conv geometry: stride must be > 0");
+  }
+  if (pad < 0) {
+    return Status::InvalidArgument("conv geometry: pad must be >= 0");
+  }
+  if (in_height + 2 * pad < kernel_h || in_width + 2 * pad < kernel_w) {
+    return Status::InvalidArgument(
+        "conv geometry: kernel larger than padded input");
+  }
+  if ((in_height + 2 * pad - kernel_h) % stride != 0 ||
+      (in_width + 2 * pad - kernel_w) % stride != 0) {
+    return Status::InvalidArgument(
+        "conv geometry: stride does not evenly tile the input");
+  }
+  return Status::OK();
+}
+
+void Im2Col(const ConvGeometry& geo, const Tensor& input, Tensor* out) {
+  const int64_t oh = geo.out_height();
+  const int64_t ow = geo.out_width();
+  const int64_t k_cols = geo.unfolded_cols();
+  ADR_CHECK(input.shape() ==
+            Shape({geo.batch, geo.in_channels, geo.in_height, geo.in_width}))
+      << "Im2Col input shape " << input.shape().ToString();
+  ADR_CHECK(out->shape() == Shape({geo.unfolded_rows(), k_cols}))
+      << "Im2Col output shape " << out->shape().ToString();
+
+  const float* in = input.data();
+  float* dst = out->data();
+  const int64_t ih = geo.in_height, iw = geo.in_width;
+  const int64_t chan_stride = ih * iw;
+
+  for (int64_t n = 0; n < geo.batch; ++n) {
+    const float* img = in + n * geo.in_channels * chan_stride;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        // One output row: all (c, ky, kx) taps of this receptive field.
+        for (int64_t c = 0; c < geo.in_channels; ++c) {
+          const float* chan = img + c * chan_stride;
+          for (int64_t ky = 0; ky < geo.kernel_h; ++ky) {
+            const int64_t y = oy * geo.stride + ky - geo.pad;
+            for (int64_t kx = 0; kx < geo.kernel_w; ++kx) {
+              const int64_t x = ox * geo.stride + kx - geo.pad;
+              const bool inside = y >= 0 && y < ih && x >= 0 && x < iw;
+              *dst++ = inside ? chan[y * iw + x] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const ConvGeometry& geo, const Tensor& grad_cols,
+            Tensor* grad_input) {
+  const int64_t oh = geo.out_height();
+  const int64_t ow = geo.out_width();
+  ADR_CHECK(grad_cols.shape() ==
+            Shape({geo.unfolded_rows(), geo.unfolded_cols()}));
+  ADR_CHECK(grad_input->shape() ==
+            Shape({geo.batch, geo.in_channels, geo.in_height, geo.in_width}));
+
+  grad_input->SetZero();
+  const float* src = grad_cols.data();
+  float* out = grad_input->data();
+  const int64_t ih = geo.in_height, iw = geo.in_width;
+  const int64_t chan_stride = ih * iw;
+
+  for (int64_t n = 0; n < geo.batch; ++n) {
+    float* img = out + n * geo.in_channels * chan_stride;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        for (int64_t c = 0; c < geo.in_channels; ++c) {
+          float* chan = img + c * chan_stride;
+          for (int64_t ky = 0; ky < geo.kernel_h; ++ky) {
+            const int64_t y = oy * geo.stride + ky - geo.pad;
+            for (int64_t kx = 0; kx < geo.kernel_w; ++kx) {
+              const int64_t x = ox * geo.stride + kx - geo.pad;
+              const bool inside = y >= 0 && y < ih && x >= 0 && x < iw;
+              if (inside) chan[y * iw + x] += *src;
+              ++src;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace adr

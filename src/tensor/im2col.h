@@ -1,0 +1,61 @@
+// im2col / col2im: the unfolding that turns convolution into GEMM.
+//
+// The unfolded matrix x (N x K) is exactly the object whose rows ("neuron
+// vectors") adaptive deep reuse clusters, so its layout is the contract
+// between the nn substrate and the core reuse library:
+//   N = Nb * Oh * Ow   rows, ordered batch-major then output-row-major;
+//   K = Ic * kh * kw   columns, ordered channel-major then kernel-row-major.
+
+#ifndef ADR_TENSOR_IM2COL_H_
+#define ADR_TENSOR_IM2COL_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace adr {
+
+/// \brief Static geometry of one convolution, shared by im2col, Conv2d and
+/// the reuse layer.
+struct ConvGeometry {
+  int64_t batch = 0;        ///< Nb
+  int64_t in_channels = 0;  ///< Ic
+  int64_t in_height = 0;    ///< Ih
+  int64_t in_width = 0;     ///< Iw
+  int64_t kernel_h = 0;     ///< kh
+  int64_t kernel_w = 0;     ///< kw
+  int64_t stride = 1;       ///< s
+  int64_t pad = 0;          ///< symmetric zero padding
+
+  int64_t out_height() const {
+    return (in_height + 2 * pad - kernel_h) / stride + 1;
+  }
+  int64_t out_width() const {
+    return (in_width + 2 * pad - kernel_w) / stride + 1;
+  }
+  /// Rows of the unfolded matrix for the whole batch (N in the paper).
+  int64_t unfolded_rows() const {
+    return batch * out_height() * out_width();
+  }
+  /// Columns of the unfolded matrix (K in the paper).
+  int64_t unfolded_cols() const { return in_channels * kernel_h * kernel_w; }
+  /// Rows corresponding to one input (N_img in the paper).
+  int64_t rows_per_image() const { return out_height() * out_width(); }
+
+  /// \brief Validates positivity and divisibility constraints.
+  Status Validate() const;
+};
+
+/// \brief Unfolds `input` (shape [Nb, Ic, Ih, Iw]) into `out` (shape
+/// [N, K]); `out` must be pre-shaped.
+void Im2Col(const ConvGeometry& geo, const Tensor& input, Tensor* out);
+
+/// \brief Folds gradient `grad_cols` ([N, K]) back into `grad_input`
+/// ([Nb, Ic, Ih, Iw]), accumulating overlapping patches.
+void Col2Im(const ConvGeometry& geo, const Tensor& grad_cols,
+            Tensor* grad_input);
+
+}  // namespace adr
+
+#endif  // ADR_TENSOR_IM2COL_H_

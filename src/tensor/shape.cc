@@ -1,0 +1,40 @@
+#include "tensor/shape.h"
+
+#include "util/check.h"
+
+namespace adr {
+
+int64_t Shape::dim(int i) const {
+  ADR_CHECK_GE(i, 0);
+  ADR_CHECK_LT(i, rank());
+  return dims_[i];
+}
+
+int64_t Shape::num_elements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) {
+    ADR_CHECK_GT(d, 0) << "shape has non-positive dimension";
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> Shape::strides() const {
+  std::vector<int64_t> s(dims_.size(), 1);
+  for (int i = rank() - 2; i >= 0; --i) {
+    s[i] = s[i + 1] * dims_[i + 1];
+  }
+  return s;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace adr

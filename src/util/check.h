@@ -1,0 +1,65 @@
+// Fail-fast invariant checks for internal errors (programming bugs), as
+// opposed to Status which reports recoverable caller errors.
+
+#ifndef ADR_UTIL_CHECK_H_
+#define ADR_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace adr::internal_check {
+
+/// Accumulates the message after a failed check and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "ADR_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+  ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  /// Yields an lvalue so the macro's trailing `<<` and Voidify both bind.
+  CheckFailureStream& self() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Converts the streamed expression to void so ADR_CHECK can sit in a
+/// ternary (the glog "voidify" idiom, dangling-else safe).
+struct Voidify {
+  void operator&(CheckFailureStream&) {}
+};
+
+}  // namespace adr::internal_check
+
+#define ADR_CHECK(condition)                               \
+  (condition) ? static_cast<void>(0)                       \
+              : ::adr::internal_check::Voidify() &         \
+                    ::adr::internal_check::CheckFailureStream( \
+                        #condition, __FILE__, __LINE__)       \
+                        .self()
+
+#define ADR_CHECK_EQ(a, b) ADR_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ADR_CHECK_NE(a, b) ADR_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ADR_CHECK_LT(a, b) ADR_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ADR_CHECK_LE(a, b) ADR_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ADR_CHECK_GT(a, b) ADR_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ADR_CHECK_GE(a, b) ADR_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifndef NDEBUG
+#define ADR_DCHECK(condition) ADR_CHECK(condition)
+#else
+#define ADR_DCHECK(condition) ADR_CHECK(true || (condition))
+#endif
+
+#endif  // ADR_UTIL_CHECK_H_

@@ -1,0 +1,66 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+
+namespace adr {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::Open(const std::string& path,
+                       const std::vector<std::string>& header,
+                       CsvWriter* out) {
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV header must not be empty");
+  }
+  out->file_.open(path, std::ios::out | std::ios::trunc);
+  if (!out->file_.is_open()) {
+    return Status::NotFound("cannot open CSV file for writing: " + path);
+  }
+  out->num_columns_ = header.size();
+  return out->WriteRow(header);
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!file_.is_open()) {
+    return Status::FailedPrecondition("CsvWriter is not open");
+  }
+  if (fields.size() != num_columns_) {
+    return Status::InvalidArgument("row arity mismatch: expected " +
+                                   std::to_string(num_columns_) + ", got " +
+                                   std::to_string(fields.size()));
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) file_ << ',';
+    file_ << CsvEscape(fields[i]);
+  }
+  file_ << '\n';
+  return Status::OK();
+}
+
+Status CsvWriter::WriteRow(const std::vector<double>& fields) {
+  std::vector<std::string> as_strings;
+  as_strings.reserve(fields.size());
+  char buf[64];
+  for (double v : fields) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    as_strings.emplace_back(buf);
+  }
+  return WriteRow(as_strings);
+}
+
+void CsvWriter::Close() {
+  if (file_.is_open()) file_.close();
+}
+
+}  // namespace adr

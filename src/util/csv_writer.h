@@ -1,0 +1,45 @@
+// CSV table emitter used by the bench harness to persist experiment series.
+
+#ifndef ADR_UTIL_CSV_WRITER_H_
+#define ADR_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adr {
+
+/// \brief Writes rows of an experiment table to a CSV file.
+///
+/// Values containing commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// \brief Opens `path` for writing and emits the header row.
+  static Status Open(const std::string& path,
+                     const std::vector<std::string>& header,
+                     CsvWriter* out);
+
+  /// \brief Appends one row; must have the same arity as the header.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// \brief Convenience overload converting doubles with %.6g.
+  Status WriteRow(const std::vector<double>& fields);
+
+  /// \brief Flushes and closes the underlying file.
+  void Close();
+
+  size_t num_columns() const { return num_columns_; }
+
+ private:
+  std::ofstream file_;
+  size_t num_columns_ = 0;
+};
+
+/// \brief Escapes a single CSV field per RFC 4180 (exposed for testing).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace adr
+
+#endif  // ADR_UTIL_CSV_WRITER_H_

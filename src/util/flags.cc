@@ -1,0 +1,115 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace adr {
+
+void FlagSet::AddInt64(const std::string& name, int64_t* value,
+                       const std::string& help) {
+  flags_[name] = Flag{Kind::kInt64, value, help};
+}
+void FlagSet::AddDouble(const std::string& name, double* value,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::kDouble, value, help};
+}
+void FlagSet::AddBool(const std::string& name, bool* value,
+                      const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, value, help};
+}
+void FlagSet::AddString(const std::string& name, std::string* value,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::kString, value, help};
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  char* end = nullptr;
+  switch (flag.kind) {
+    case Kind::kInt64: {
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--" + name +
+                                       " expects an integer, got " + value);
+      }
+      *static_cast<int64_t*>(flag.target) = parsed;
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--" + name +
+                                       " expects a number, got " + value);
+      }
+      *static_cast<double*>(flag.target) = parsed;
+      return Status::OK();
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("--" + name +
+                                       " expects true/false, got " + value);
+      }
+      return Status::OK();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      ADR_RETURN_NOT_OK(SetValue(arg.substr(0, eq), arg.substr(eq + 1)));
+      continue;
+    }
+    // --no-name for bools.
+    if (arg.rfind("no-", 0) == 0) {
+      const std::string name = arg.substr(3);
+      const auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        *static_cast<bool*>(it->second.target) = false;
+        continue;
+      }
+    }
+    const auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + arg);
+    }
+    if (it->second.kind == Kind::kBool) {
+      *static_cast<bool*>(it->second.target) = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("--" + arg + " expects a value");
+    }
+    ADR_RETURN_NOT_OK(SetValue(arg, argv[++i]));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + "  " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace adr

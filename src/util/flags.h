@@ -1,0 +1,57 @@
+// Tiny command-line flag parser for the examples and bench binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name /
+// --no-name. Unknown flags are reported as errors; positional arguments
+// are collected in order.
+
+#ifndef ADR_UTIL_FLAGS_H_
+#define ADR_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adr {
+
+/// \brief Declarative flag set: register flags bound to variables, then
+/// Parse(argc, argv).
+class FlagSet {
+ public:
+  void AddInt64(const std::string& name, int64_t* value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value,
+               const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+
+  /// \brief Parses argv (skipping argv[0]); fills bound variables.
+  /// Returns InvalidArgument on unknown flags or malformed values.
+  Status Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// \brief Usage text listing all registered flags.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace adr
+
+#endif  // ADR_UTIL_FLAGS_H_

@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr.
+
+#ifndef ADR_UTIL_LOGGING_H_
+#define ADR_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace adr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// One log statement; flushes the line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace adr
+
+#define ADR_LOG(level)                                          \
+  ::adr::internal_logging::LogMessage(::adr::LogLevel::k##level, \
+                                      __FILE__, __LINE__)
+
+#endif  // ADR_UTIL_LOGGING_H_

@@ -1,0 +1,73 @@
+// Result<T>: a value or a Status, for fallible factory-style APIs.
+
+#ifndef ADR_UTIL_RESULT_H_
+#define ADR_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace adr {
+
+/// \brief Holds either a successfully produced T or the Status explaining
+/// why production failed.
+///
+/// Accessors ValueOrDie()/operator* abort on error; check ok() first or use
+/// status() to inspect. Mirrors arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK Status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    ADR_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    ADR_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    ADR_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    ADR_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace adr
+
+/// Unwraps a Result into `lhs`, propagating errors to the caller.
+#define ADR_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto ADR_CONCAT_(_res_, __LINE__) = (expr);       \
+  if (!ADR_CONCAT_(_res_, __LINE__).ok())           \
+    return ADR_CONCAT_(_res_, __LINE__).status();   \
+  lhs = std::move(ADR_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define ADR_CONCAT_IMPL_(a, b) a##b
+#define ADR_CONCAT_(a, b) ADR_CONCAT_IMPL_(a, b)
+
+#endif  // ADR_UTIL_RESULT_H_

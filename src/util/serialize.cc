@@ -1,0 +1,115 @@
+#include "util/serialize.h"
+
+namespace adr {
+
+Status BinaryWriter::Open(const std::string& path, BinaryWriter* out) {
+  out->file_.open(path, std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!out->file_.is_open()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteBytes(const void* data, size_t count) {
+  if (!file_.is_open()) {
+    return Status::FailedPrecondition("writer is not open");
+  }
+  file_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(count));
+  if (!file_.good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteU32(uint32_t value) {
+  return WriteBytes(&value, sizeof(value));
+}
+Status BinaryWriter::WriteU64(uint64_t value) {
+  return WriteBytes(&value, sizeof(value));
+}
+Status BinaryWriter::WriteI64(int64_t value) {
+  return WriteBytes(&value, sizeof(value));
+}
+Status BinaryWriter::WriteDouble(double value) {
+  return WriteBytes(&value, sizeof(value));
+}
+
+Status BinaryWriter::WriteString(const std::string& value) {
+  ADR_RETURN_NOT_OK(WriteU64(value.size()));
+  return WriteBytes(value.data(), value.size());
+}
+
+Status BinaryWriter::WriteFloats(const float* data, size_t count) {
+  ADR_RETURN_NOT_OK(WriteU64(count));
+  return WriteBytes(data, count * sizeof(float));
+}
+
+Status BinaryWriter::Close() {
+  if (!file_.is_open()) {
+    return Status::FailedPrecondition("writer is not open");
+  }
+  file_.flush();
+  const bool ok = file_.good();
+  file_.close();
+  return ok ? Status::OK() : Status::Internal("flush failed");
+}
+
+Status BinaryReader::Open(const std::string& path, BinaryReader* out) {
+  out->file_.open(path, std::ios::in | std::ios::binary);
+  if (!out->file_.is_open()) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t count) {
+  if (!file_.is_open()) {
+    return Status::FailedPrecondition("reader is not open");
+  }
+  file_.read(static_cast<char*>(data), static_cast<std::streamsize>(count));
+  if (static_cast<size_t>(file_.gcount()) != count) {
+    return Status::OutOfRange("unexpected end of file");
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(uint32_t* value) {
+  return ReadBytes(value, sizeof(*value));
+}
+Status BinaryReader::ReadU64(uint64_t* value) {
+  return ReadBytes(value, sizeof(*value));
+}
+Status BinaryReader::ReadI64(int64_t* value) {
+  return ReadBytes(value, sizeof(*value));
+}
+Status BinaryReader::ReadDouble(double* value) {
+  return ReadBytes(value, sizeof(*value));
+}
+
+Status BinaryReader::ReadString(std::string* value, size_t max_length) {
+  uint64_t length = 0;
+  ADR_RETURN_NOT_OK(ReadU64(&length));
+  if (length > max_length) {
+    return Status::OutOfRange("string length " + std::to_string(length) +
+                              " exceeds limit");
+  }
+  value->resize(static_cast<size_t>(length));
+  return ReadBytes(value->data(), static_cast<size_t>(length));
+}
+
+Status BinaryReader::ReadFloats(float* data, size_t count) {
+  uint64_t stored = 0;
+  ADR_RETURN_NOT_OK(ReadU64(&stored));
+  if (stored != count) {
+    return Status::InvalidArgument(
+        "float array length mismatch: stored " + std::to_string(stored) +
+        ", expected " + std::to_string(count));
+  }
+  return ReadBytes(data, count * sizeof(float));
+}
+
+bool BinaryReader::AtEof() {
+  if (!file_.is_open()) return true;
+  return file_.peek() == std::ifstream::traits_type::eof();
+}
+
+}  // namespace adr

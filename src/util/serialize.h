@@ -1,0 +1,64 @@
+// Minimal binary serialization primitives for checkpoints.
+//
+// Format: little-endian PODs; strings and arrays are length-prefixed with
+// uint64. A file begins with a caller-chosen magic + version header (see
+// nn/checkpoint.h for the network checkpoint format built on top).
+
+#ifndef ADR_UTIL_SERIALIZE_H_
+#define ADR_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adr {
+
+/// \brief Streaming binary writer over a file.
+class BinaryWriter {
+ public:
+  /// \brief Opens `path` for truncating binary write.
+  static Status Open(const std::string& path, BinaryWriter* out);
+
+  Status WriteU32(uint32_t value);
+  Status WriteU64(uint64_t value);
+  Status WriteI64(int64_t value);
+  Status WriteDouble(double value);
+  Status WriteString(const std::string& value);
+  Status WriteFloats(const float* data, size_t count);
+
+  /// \brief Flushes and closes; returns an error if any write failed.
+  Status Close();
+
+ private:
+  Status WriteBytes(const void* data, size_t count);
+  std::ofstream file_;
+};
+
+/// \brief Streaming binary reader over a file.
+class BinaryReader {
+ public:
+  /// \brief Opens `path` for binary read.
+  static Status Open(const std::string& path, BinaryReader* out);
+
+  Status ReadU32(uint32_t* value);
+  Status ReadU64(uint64_t* value);
+  Status ReadI64(int64_t* value);
+  Status ReadDouble(double* value);
+  /// Rejects strings longer than `max_length` (corruption guard).
+  Status ReadString(std::string* value, size_t max_length = 1 << 20);
+  Status ReadFloats(float* data, size_t count);
+
+  /// \brief True when the cursor is at end of file.
+  bool AtEof();
+
+ private:
+  Status ReadBytes(void* data, size_t count);
+  std::ifstream file_;
+};
+
+}  // namespace adr
+
+#endif  // ADR_UTIL_SERIALIZE_H_

@@ -1,0 +1,98 @@
+// Status: lightweight error propagation for fallible public APIs.
+//
+// Follows the RocksDB/Arrow idiom: functions that can fail return a Status
+// (or a Result<T>, see result.h) instead of throwing. Internal invariant
+// violations use ADR_CHECK (see check.h) and abort.
+
+#ifndef ADR_UTIL_STATUS_H_
+#define ADR_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace adr {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+};
+
+/// \brief Returns a human-readable name for a StatusCode.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief The outcome of a fallible operation: either OK or a code + message.
+///
+/// Status is cheap to copy in the OK case (no allocation). Construction of an
+/// error Status allocates for the message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief Renders e.g. "InvalidArgument: batch size must be positive".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace adr
+
+/// Propagates a non-OK Status to the caller.
+#define ADR_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::adr::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#endif  // ADR_UTIL_STATUS_H_

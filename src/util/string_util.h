@@ -1,0 +1,30 @@
+// Small string helpers shared across modules.
+
+#ifndef ADR_UTIL_STRING_UTIL_H_
+#define ADR_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adr {
+
+/// \brief Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// \brief Formats a double with fixed precision, e.g. FormatDouble(0.5, 3)
+/// -> "0.500".
+std::string FormatDouble(double value, int precision);
+
+/// \brief Renders a fraction as a percentage string, e.g. "69.0%".
+std::string FormatPercent(double fraction, int precision = 1);
+
+/// \brief Human-readable byte count ("1.5 MiB").
+std::string FormatBytes(size_t bytes);
+
+}  // namespace adr
+
+#endif  // ADR_UTIL_STRING_UTIL_H_

@@ -1,0 +1,47 @@
+// Wall-clock timing helpers for experiments and benches.
+
+#ifndef ADR_UTIL_TIMER_H_
+#define ADR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace adr {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates time across repeated Start/Stop intervals, e.g. to
+/// separate hashing time from GEMM time inside a training step.
+class CumulativeTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_seconds_ += timer_.ElapsedSeconds(); }
+  double TotalSeconds() const { return total_seconds_; }
+  void Clear() { total_seconds_ = 0.0; }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace adr
+
+#endif  // ADR_UTIL_TIMER_H_

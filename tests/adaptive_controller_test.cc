@@ -1,0 +1,216 @@
+// Tests for PlateauDetector and AdaptiveController (Amendments 3.1-3.3).
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_controller.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+TEST(PlateauDetectorTest, NoVerdictBeforeTwoWindows) {
+  PlateauDetector detector(5, 0.01);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FALSE(detector.Observe(1.0));
+  }
+  EXPECT_TRUE(detector.Observe(1.0));  // 10th observation, flat
+}
+
+TEST(PlateauDetectorTest, DecreasingLossIsNotPlateau) {
+  PlateauDetector detector(5, 0.01);
+  bool plateaued = false;
+  for (int i = 0; i < 30; ++i) {
+    plateaued = detector.Observe(10.0 - 0.3 * i);
+  }
+  EXPECT_FALSE(plateaued);
+}
+
+TEST(PlateauDetectorTest, FlatLossIsPlateau) {
+  PlateauDetector detector(5, 0.01);
+  bool plateaued = false;
+  for (int i = 0; i < 10; ++i) plateaued = detector.Observe(2.0);
+  EXPECT_TRUE(plateaued);
+}
+
+TEST(PlateauDetectorTest, ResetClearsHistory) {
+  PlateauDetector detector(3, 0.01);
+  for (int i = 0; i < 6; ++i) detector.Observe(1.0);
+  detector.Reset();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(detector.Observe(1.0));
+  }
+}
+
+TEST(PlateauDetectorTest, SlowImprovementBelowThresholdIsPlateau) {
+  PlateauDetector detector(5, 0.05);  // requires 5% improvement per window
+  bool plateaued = false;
+  for (int i = 0; i < 10; ++i) plateaued = detector.Observe(1.0 - 1e-4 * i);
+  EXPECT_TRUE(plateaued);
+}
+
+Conv2dConfig TinyConv(int64_t in_channels) {
+  Conv2dConfig config;
+  config.in_channels = in_channels;
+  config.out_channels = 8;
+  config.kernel = 3;
+  config.stride = 1;
+  config.pad = 1;
+  config.in_height = 8;
+  config.in_width = 8;
+  return config;
+}
+
+std::unique_ptr<ReuseConv2d> MakeLayer(const std::string& name,
+                                       int64_t in_channels, Rng* rng) {
+  ReuseConfig reuse;
+  reuse.num_hashes = 8;
+  return std::make_unique<ReuseConv2d>(name, TinyConv(in_channels), reuse,
+                                       rng);
+}
+
+TEST(AdaptiveControllerTest, InitAppliesMostAggressiveCandidate) {
+  Rng rng(1);
+  auto layer = MakeLayer("conv1", 3, &rng);
+  AdaptiveOptions options;
+  AdaptiveController controller({layer.get()}, 4, options);
+  ASSERT_TRUE(controller.Init().ok());
+  const LhCandidate& first = controller.CurrentCandidate(0);
+  EXPECT_EQ(layer->reuse_config().sub_vector_length, first.l);
+  EXPECT_EQ(layer->reuse_config().num_hashes, first.h);
+  EXPECT_EQ(controller.stage(), 0);
+  EXPECT_GT(controller.num_stages(), 1);
+}
+
+TEST(AdaptiveControllerTest, RejectsEmptyLayerList) {
+  AdaptiveOptions options;
+  AdaptiveController controller({}, 4, options);
+  EXPECT_FALSE(controller.Init().ok());
+}
+
+TEST(AdaptiveControllerTest, NoAdvanceWhileLossDecreases) {
+  Rng rng(2);
+  auto layer = MakeLayer("conv1", 3, &rng);
+  AdaptiveOptions options;
+  options.plateau_window = 3;
+  options.min_steps_per_stage = 4;
+  AdaptiveController controller({layer.get()}, 4, options);
+  ASSERT_TRUE(controller.Init().ok());
+  int probes = 0;
+  for (int i = 0; i < 30; ++i) {
+    const bool advanced = controller.Step(
+        10.0 - 0.3 * i, 0.2, [&]() {
+          ++probes;
+          return 0.5;
+        });
+    EXPECT_FALSE(advanced);
+  }
+  EXPECT_EQ(probes, 0);
+  EXPECT_EQ(controller.stage(), 0);
+}
+
+TEST(AdaptiveControllerTest, AdvancesOnPlateauWithGoodProbe) {
+  Rng rng(3);
+  auto layer = MakeLayer("conv1", 3, &rng);
+  AdaptiveOptions options;
+  options.plateau_window = 3;
+  options.min_steps_per_stage = 4;
+  AdaptiveController controller({layer.get()}, 4, options);
+  ASSERT_TRUE(controller.Init().ok());
+  // Probe returns improving accuracy: first call (A_cur) low, later high,
+  // satisfying Amendment 3.1's 1.5x ratio at low training accuracy.
+  int call = 0;
+  bool advanced = false;
+  for (int i = 0; i < 20 && !advanced; ++i) {
+    advanced = controller.Step(1.0, /*train_accuracy=*/0.2, [&]() {
+      return ++call == 1 ? 0.2 : 0.6;
+    });
+  }
+  EXPECT_TRUE(advanced);
+  EXPECT_EQ(controller.stage(), 1);
+  // Layer must now carry stage-1 parameters.
+  const LhCandidate& current = controller.CurrentCandidate(0);
+  EXPECT_EQ(layer->reuse_config().sub_vector_length, current.l);
+  EXPECT_EQ(layer->reuse_config().num_hashes, current.h);
+}
+
+TEST(AdaptiveControllerTest, Amendment32UsesDifferenceAtHighAccuracy) {
+  Rng rng(4);
+  auto layer = MakeLayer("conv1", 3, &rng);
+  AdaptiveOptions options;
+  options.plateau_window = 2;
+  options.min_steps_per_stage = 2;
+  AdaptiveController controller({layer.get()}, 4, options);
+  ASSERT_TRUE(controller.Init().ok());
+  // train accuracy 0.8 (> 0.5): need A_next - A_cur >= 0.1.
+  int call = 0;
+  bool advanced = false;
+  for (int i = 0; i < 20 && !advanced; ++i) {
+    advanced = controller.Step(1.0, 0.8, [&]() {
+      return ++call == 1 ? 0.70 : 0.82;  // +0.12 >= 0.1
+    });
+  }
+  EXPECT_TRUE(advanced);
+}
+
+TEST(AdaptiveControllerTest, FallbackStillGuaranteesProgress) {
+  Rng rng(5);
+  auto layer = MakeLayer("conv1", 3, &rng);
+  AdaptiveOptions options;
+  options.plateau_window = 2;
+  options.min_steps_per_stage = 2;
+  AdaptiveController controller({layer.get()}, 4, options);
+  ASSERT_TRUE(controller.Init().ok());
+  // Probe never improves: Amendments 3.1/3.2 fail, 3.3's 1.1 ratio fails,
+  // yet the controller must still advance by one stage.
+  bool advanced = false;
+  for (int i = 0; i < 20 && !advanced; ++i) {
+    advanced = controller.Step(1.0, 0.8, [&]() { return 0.5; });
+  }
+  EXPECT_TRUE(advanced);
+  EXPECT_EQ(controller.stage(), 1);
+}
+
+TEST(AdaptiveControllerTest, ExhaustsAtEndOfSchedule) {
+  Rng rng(6);
+  auto layer = MakeLayer("conv1", 3, &rng);
+  AdaptiveOptions options;
+  options.plateau_window = 1;
+  options.min_steps_per_stage = 1;
+  AdaptiveController controller({layer.get()}, 4, options);
+  ASSERT_TRUE(controller.Init().ok());
+  const int stages = controller.num_stages();
+  int advances = 0;
+  for (int i = 0; i < 500 && !controller.Exhausted(); ++i) {
+    if (controller.Step(1.0, 0.2, [&]() { return 0.9; })) ++advances;
+  }
+  EXPECT_TRUE(controller.Exhausted());
+  EXPECT_LE(controller.stage(), stages - 1);
+  EXPECT_GT(advances, 0);
+  // Once exhausted, Step never advances again.
+  EXPECT_FALSE(controller.Step(1.0, 0.2, [&]() { return 0.99; }));
+}
+
+TEST(AdaptiveControllerTest, MultipleLayersEachFollowOwnList) {
+  Rng rng(7);
+  auto layer1 = MakeLayer("conv1", 3, &rng);
+  auto layer2 = MakeLayer("conv2", 16, &rng);
+  AdaptiveOptions options;
+  options.plateau_window = 1;
+  options.min_steps_per_stage = 1;
+  AdaptiveController controller({layer1.get(), layer2.get()}, 4, options);
+  ASSERT_TRUE(controller.Init().ok());
+  // Different geometry (I_c 3 vs 16) must give different candidates.
+  EXPECT_NE(controller.CurrentCandidate(0).l,
+            controller.CurrentCandidate(1).l);
+  while (!controller.Exhausted()) {
+    controller.Step(1.0, 0.2, [&]() { return 0.9; });
+  }
+  // Both layers end on their most precise setting.
+  EXPECT_EQ(layer1->reuse_config().num_hashes,
+            controller.CurrentCandidate(0).h);
+  EXPECT_EQ(layer2->reuse_config().num_hashes,
+            controller.CurrentCandidate(1).h);
+}
+
+}  // namespace
+}  // namespace adr

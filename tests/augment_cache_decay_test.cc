@@ -1,0 +1,195 @@
+// Tests for data augmentation, the cache eviction policy, and optimizer
+// weight decay.
+
+#include <gtest/gtest.h>
+
+#include "core/clustered_matmul.h"
+#include "data/augment.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+TEST(AugmentTest, FlipHorizontalReversesRows) {
+  // 1 channel, 2x3: rows [1 2 3; 4 5 6] -> [3 2 1; 6 5 4].
+  float image[6] = {1, 2, 3, 4, 5, 6};
+  FlipHorizontal(image, 1, 2, 3);
+  EXPECT_EQ(image[0], 3);
+  EXPECT_EQ(image[2], 1);
+  EXPECT_EQ(image[3], 6);
+  EXPECT_EQ(image[5], 4);
+}
+
+TEST(AugmentTest, DoubleFlipIsIdentity) {
+  Rng rng(1);
+  Tensor image = Tensor::RandomGaussian(Shape({3, 4, 5}), &rng);
+  Tensor copy = image;
+  FlipHorizontal(image.data(), 3, 4, 5);
+  FlipHorizontal(image.data(), 3, 4, 5);
+  EXPECT_EQ(MaxAbsDiff(image, copy), 0.0f);
+}
+
+TEST(AugmentTest, ShiftMovesAndZeroFills) {
+  // 1x2x2 image [1 2; 3 4], shift down-right by (1, 1).
+  float image[4] = {1, 2, 3, 4};
+  ShiftImage(image, 1, 2, 2, 1, 1);
+  EXPECT_EQ(image[0], 0.0f);  // vacated
+  EXPECT_EQ(image[1], 0.0f);
+  EXPECT_EQ(image[2], 0.0f);
+  EXPECT_EQ(image[3], 1.0f);  // old (0,0) lands at (1,1)
+}
+
+TEST(AugmentTest, ZeroShiftIsNoOp) {
+  Rng rng(2);
+  Tensor image = Tensor::RandomGaussian(Shape({2, 3, 3}), &rng);
+  Tensor copy = image;
+  ShiftImage(image.data(), 2, 3, 3, 0, 0);
+  EXPECT_EQ(MaxAbsDiff(image, copy), 0.0f);
+}
+
+TEST(AugmentTest, BatchAugmentationIsDeterministic) {
+  Rng data_rng(3);
+  Batch a, b;
+  a.images = Tensor::RandomGaussian(Shape({4, 3, 8, 8}), &data_rng);
+  a.labels = {0, 1, 2, 3};
+  b.images = a.images;
+  b.labels = a.labels;
+  AugmentConfig config;
+  config.flip_probability = 0.5f;
+  config.crop_padding = 2;
+  config.brightness_jitter = 0.1f;
+  Rng rng_a(7), rng_b(7);
+  AugmentBatch(config, &rng_a, &a);
+  AugmentBatch(config, &rng_b, &b);
+  EXPECT_EQ(MaxAbsDiff(a.images, b.images), 0.0f);
+}
+
+TEST(AugmentTest, DisabledConfigLeavesBatchUntouched) {
+  Rng data_rng(4);
+  Batch batch;
+  batch.images = Tensor::RandomGaussian(Shape({2, 3, 6, 6}), &data_rng);
+  batch.labels = {0, 1};
+  Tensor copy = batch.images;
+  AugmentConfig config;
+  config.flip_probability = 0.0f;
+  config.crop_padding = 0;
+  config.brightness_jitter = 0.0f;
+  Rng rng(5);
+  AugmentBatch(config, &rng, &batch);
+  EXPECT_EQ(MaxAbsDiff(batch.images, copy), 0.0f);
+}
+
+TEST(AugmentTest, BrightnessJitterShiftsUniformly) {
+  Batch batch;
+  batch.images = Tensor(Shape({1, 1, 2, 2}));
+  batch.labels = {0};
+  AugmentConfig config;
+  config.flip_probability = 0.0f;
+  config.brightness_jitter = 0.5f;
+  Rng rng(6);
+  AugmentBatch(config, &rng, &batch);
+  // All four pixels share the same shift.
+  const float shift = batch.images.at(0);
+  EXPECT_NE(shift, 0.0f);
+  for (int64_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(batch.images.at(i), shift);
+  }
+  EXPECT_LE(std::abs(shift), 0.5f);
+}
+
+TEST(CacheEvictionTest, FifoEvictsOldestBeyondCap) {
+  ClusterReuseCache cache;
+  cache.set_max_entries(2);
+  LshSignature s1, s2, s3;
+  s1.SetBit(1);
+  s2.SetBit(2);
+  s3.SetBit(3);
+  cache.Insert(0, s1, {});
+  cache.Insert(0, s2, {});
+  EXPECT_EQ(cache.TotalEntries(), 2);
+  cache.Insert(0, s3, {});  // evicts s1
+  EXPECT_EQ(cache.TotalEntries(), 2);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.Find(0, s1), nullptr);
+  EXPECT_NE(cache.Find(0, s2), nullptr);
+  EXPECT_NE(cache.Find(0, s3), nullptr);
+}
+
+TEST(CacheEvictionTest, UnboundedByDefault) {
+  ClusterReuseCache cache;
+  for (int i = 0; i < 100; ++i) {
+    LshSignature sig;
+    sig.SetBit(i % 128);
+    sig.words[0] ^= static_cast<uint64_t>(i) << 32;
+    cache.Insert(0, sig, {});
+  }
+  EXPECT_EQ(cache.TotalEntries(), 100);
+  EXPECT_EQ(cache.evictions(), 0);
+}
+
+TEST(CacheEvictionTest, ReinsertDoesNotDoubleCount) {
+  ClusterReuseCache cache;
+  cache.set_max_entries(4);
+  LshSignature sig;
+  sig.SetBit(5);
+  ClusterReuseCache::Entry entry;
+  entry.output = {1.0f};
+  cache.Insert(0, sig, entry);
+  entry.output = {2.0f};
+  cache.Insert(0, sig, entry);  // overwrite, not a new entry
+  EXPECT_EQ(cache.TotalEntries(), 1);
+  EXPECT_EQ(cache.Find(0, sig)->output[0], 2.0f);
+}
+
+TEST(CacheEvictionTest, MemoryAccounting) {
+  ClusterReuseCache cache;
+  LshSignature sig;
+  ClusterReuseCache::Entry entry;
+  entry.representative = {1, 2, 3, 4};  // 16 bytes
+  entry.output = {1, 2};                // 8 bytes
+  cache.Insert(0, sig, entry);
+  EXPECT_EQ(cache.ApproximateMemoryBytes(),
+            static_cast<int64_t>(sizeof(LshSignature)) + 24);
+}
+
+TEST(WeightDecayTest, SgdShrinksParameters) {
+  Tensor param(Shape({1}), {1.0f});
+  Tensor grad(Shape({1}), {0.0f});  // isolate the decay term
+  Sgd sgd(0.1f);
+  sgd.set_weight_decay(0.5f);
+  sgd.Step({&param}, {&grad});
+  EXPECT_FLOAT_EQ(param.at(0), 1.0f * (1.0f - 0.1f * 0.5f));
+}
+
+TEST(WeightDecayTest, ZeroDecayIsNoOp) {
+  Tensor param(Shape({1}), {2.0f});
+  Tensor grad(Shape({1}), {0.0f});
+  Adam adam(0.1f);
+  adam.Step({&param}, {&grad});
+  EXPECT_FLOAT_EQ(param.at(0), 2.0f);
+}
+
+TEST(WeightDecayTest, AdamDecayIsDecoupled) {
+  // With zero gradient, AdamW-style decay still shrinks parameters.
+  Tensor param(Shape({1}), {4.0f});
+  Tensor grad(Shape({1}), {0.0f});
+  Adam adam(0.01f);
+  adam.set_weight_decay(1.0f);
+  adam.Step({&param}, {&grad});
+  EXPECT_FLOAT_EQ(param.at(0), 4.0f * 0.99f);
+}
+
+TEST(WeightDecayTest, MomentumDecayAccumulates) {
+  Tensor param(Shape({1}), {1.0f});
+  Tensor grad(Shape({1}), {0.0f});
+  MomentumSgd opt(0.1f, 0.9f);
+  opt.set_weight_decay(0.1f);
+  opt.Step({&param}, {&grad});
+  opt.Step({&param}, {&grad});
+  EXPECT_FLOAT_EQ(param.at(0), 1.0f * 0.99f * 0.99f);
+}
+
+}  // namespace
+}  // namespace adr

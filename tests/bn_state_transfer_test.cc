@@ -1,0 +1,105 @@
+// Regression tests for BatchNorm state transfer: running statistics must
+// travel through CopyWeights and checkpoints, or inference-mode twins of
+// BN models evaluate with fresh (garbage) normalizer stats. Found via the
+// VGG fig-8 sweep collapsing to chance accuracy.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "data/dataloader.h"
+#include "data/synthetic_images.h"
+#include "models/models.h"
+#include "nn/checkpoint.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+#include "tensor/tensor_ops.h"
+
+namespace adr {
+namespace {
+
+struct Trained {
+  SyntheticImageDataset dataset;
+  Model model;
+  ModelOptions options;
+};
+
+Trained TrainBnModel() {
+  SyntheticImageConfig data_config;
+  data_config.num_classes = 4;
+  data_config.num_samples = 128;
+  data_config.height = 16;
+  data_config.width = 16;
+  data_config.seed = 99;
+  ModelOptions options;
+  options.num_classes = 4;
+  options.input_size = 16;
+  options.width = 0.25;
+  options.fc_width = 0.1;
+  options.batch_norm = true;
+  Trained out{*SyntheticImageDataset::Create(data_config),
+              BuildCifarNet(options).ValueOrDie(), options};
+  DataLoader loader(&out.dataset, 16, true, 3);
+  Adam optimizer(0.002f);
+  Batch batch;
+  for (int i = 0; i < 60; ++i) {
+    loader.Next(&batch);
+    TrainStep(&out.model.network, &optimizer, batch);
+  }
+  return out;
+}
+
+TEST(BnStateTransferTest, NetworkExposesStateTensors) {
+  Trained trained = TrainBnModel();
+  // Two BN layers x (running_mean, running_var).
+  EXPECT_EQ(trained.model.network.StateTensors().size(), 4u);
+  // Stats moved away from their initialization.
+  const Tensor* mean = trained.model.network.StateTensors()[0];
+  EXPECT_GT(MaxAbs(*mean), 0.0f);
+}
+
+TEST(BnStateTransferTest, CopyWeightsCarriesRunningStats) {
+  Trained trained = TrainBnModel();
+  ModelOptions twin_options = trained.options;
+  twin_options.use_reuse = true;
+  twin_options.reuse.enabled = false;
+  twin_options.seed = 1234;
+  Model twin = BuildCifarNet(twin_options).ValueOrDie();
+  ASSERT_TRUE(CopyWeights(trained.model, &twin).ok());
+
+  const Batch batch = MakeBatch(trained.dataset, 0, 16);
+  Tensor expected = trained.model.network.Forward(batch.images, false);
+  Tensor actual = twin.network.Forward(batch.images, false);
+  EXPECT_LT(MaxAbsDiff(actual, expected), 1e-5f);
+}
+
+TEST(BnStateTransferTest, CheckpointCarriesRunningStats) {
+  Trained trained = TrainBnModel();
+  const std::string path = testing::TempDir() + "/bn_state.ckpt";
+  ASSERT_TRUE(SaveCheckpoint(trained.model.network, path).ok());
+
+  ModelOptions fresh_options = trained.options;
+  fresh_options.seed = 4321;
+  Model restored = BuildCifarNet(fresh_options).ValueOrDie();
+  ASSERT_TRUE(LoadCheckpoint(path, &restored.network).ok());
+
+  const Batch batch = MakeBatch(trained.dataset, 0, 16);
+  Tensor expected = trained.model.network.Forward(batch.images, false);
+  Tensor actual = restored.network.Forward(batch.images, false);
+  EXPECT_EQ(MaxAbsDiff(actual, expected), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(BnStateTransferTest, EvalAccuracyMatchesAfterCopy) {
+  Trained trained = TrainBnModel();
+  ModelOptions twin_options = trained.options;
+  twin_options.use_reuse = true;
+  twin_options.reuse.enabled = false;
+  Model twin = BuildCifarNet(twin_options).ValueOrDie();
+  ASSERT_TRUE(CopyWeights(trained.model, &twin).ok());
+  EXPECT_EQ(EvaluateAccuracy(&trained.model.network, trained.dataset, 16, 64),
+            EvaluateAccuracy(&twin.network, trained.dataset, 16, 64));
+}
+
+}  // namespace
+}  // namespace adr

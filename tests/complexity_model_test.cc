@@ -1,0 +1,99 @@
+// Tests for the analytic cost model (paper Eqs. 5, 6, 12, 20-23).
+
+#include <gtest/gtest.h>
+
+#include "core/complexity_model.h"
+
+namespace adr {
+namespace {
+
+ComplexityParams Example() {
+  ComplexityParams p;
+  p.n = 1000;
+  p.k = 100;
+  p.m = 64;
+  p.l = 10;
+  p.h = 8;
+  p.rc = 0.1;
+  return p;
+}
+
+TEST(ComplexityModelTest, ForwardCostEq5) {
+  const ComplexityParams p = Example();
+  // H/M + r_c + 1/L = 8/64 + 0.1 + 0.1 = 0.325.
+  EXPECT_DOUBLE_EQ(ForwardRelativeCost(p), 0.125 + 0.1 + 0.1);
+}
+
+TEST(ComplexityModelTest, ForwardCostClusterReuseEq6) {
+  ComplexityParams p = Example();
+  p.reuse_rate = 0.5;
+  // H/M + (1-R) r_c + 1/L = 0.125 + 0.05 + 0.1.
+  EXPECT_DOUBLE_EQ(ForwardRelativeCostClusterReuse(p), 0.275);
+  p.reuse_rate = 1.0;  // everything reused: only hash + adds remain
+  EXPECT_DOUBLE_EQ(ForwardRelativeCostClusterReuse(p), 0.225);
+}
+
+TEST(ComplexityModelTest, WeightGradCostEq12) {
+  const ComplexityParams p = Example();
+  // (1 - r_c)/L + r_c = 0.9/10 + 0.1 = 0.19.
+  EXPECT_DOUBLE_EQ(WeightGradRelativeCost(p), 0.19);
+}
+
+TEST(ComplexityModelTest, InputDeltaCostEq20) {
+  EXPECT_DOUBLE_EQ(InputDeltaRelativeCost(Example()), 0.1);
+}
+
+TEST(ComplexityModelTest, TrainingStepAveragesThreeGemms) {
+  const ComplexityParams p = Example();
+  const double expected =
+      (ForwardRelativeCost(p) + WeightGradRelativeCost(p) +
+       InputDeltaRelativeCost(p)) /
+      3.0;
+  EXPECT_DOUBLE_EQ(TrainingStepRelativeCost(p), expected);
+  EXPECT_LT(TrainingStepRelativeCost(p), 1.0);  // reuse must pay off here
+}
+
+TEST(ComplexityModelTest, WholeRowWhenLZero) {
+  ComplexityParams p = Example();
+  p.l = 0;
+  // 1/L term becomes 1/K.
+  EXPECT_DOUBLE_EQ(ForwardRelativeCost(p), 0.125 + 0.1 + 1.0 / 100.0);
+}
+
+TEST(ComplexityModelTest, DeltaTimeForLEq22) {
+  // Decreasing L from 20 to 10 adds 1/10 - 1/20 = 0.05 relative cost.
+  EXPECT_DOUBLE_EQ(DeltaTimeForL(20, 10), 0.05);
+  EXPECT_DOUBLE_EQ(DeltaTimeForL(10, 20), -0.05);
+}
+
+TEST(ComplexityModelTest, DeltaTimeForHEq23) {
+  EXPECT_DOUBLE_EQ(DeltaTimeForH(8, 12, 64), 4.0 / 64.0);
+  EXPECT_DOUBLE_EQ(DeltaTimeForH(12, 8, 64), -4.0 / 64.0);
+}
+
+TEST(ComplexityModelTest, LshProfitabilityCondition) {
+  // Profitable iff H < M (1 - r_c).
+  EXPECT_TRUE(LshProfitable(8, 64, 0.1));    // 8 < 57.6
+  EXPECT_FALSE(LshProfitable(60, 64, 0.1));  // 60 > 57.6
+  EXPECT_FALSE(LshProfitable(8, 64, 0.99));  // dense-ish clustering
+}
+
+TEST(ComplexityModelTest, NoReuseNoSavings) {
+  // r_c = 1 (all singleton clusters): forward cost exceeds baseline by
+  // the hashing and adding overheads — the regime LSH must avoid.
+  ComplexityParams p = Example();
+  p.rc = 1.0;
+  EXPECT_GT(ForwardRelativeCost(p), 1.0);
+}
+
+TEST(ComplexityModelTest, SmallerLRaisesAddOverhead) {
+  ComplexityParams p = Example();
+  p.l = 2;
+  const double cost_small_l = ForwardRelativeCost(p);
+  p.l = 50;
+  const double cost_large_l = ForwardRelativeCost(p);
+  EXPECT_GT(cost_small_l, cost_large_l);  // same r_c: small L costs more
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,168 @@
+// Tests for the synthetic dataset and DataLoader.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataloader.h"
+#include "data/synthetic_images.h"
+#include "tensor/tensor_ops.h"
+
+namespace adr {
+namespace {
+
+SyntheticImageConfig SmallConfig() {
+  SyntheticImageConfig config = SyntheticImageConfig::CifarLike(200, 42);
+  config.height = 16;
+  config.width = 16;
+  config.num_classes = 4;
+  return config;
+}
+
+TEST(SyntheticImagesTest, ValidatesConfig) {
+  SyntheticImageConfig config = SmallConfig();
+  config.num_classes = 1;
+  EXPECT_FALSE(SyntheticImageDataset::Create(config).ok());
+  config = SmallConfig();
+  config.num_samples = 0;
+  EXPECT_FALSE(SyntheticImageDataset::Create(config).ok());
+  config = SmallConfig();
+  config.max_translation = 100;
+  EXPECT_FALSE(SyntheticImageDataset::Create(config).ok());
+  config = SmallConfig();
+  config.blob_radius_fraction = 0.0f;
+  EXPECT_FALSE(SyntheticImageDataset::Create(config).ok());
+  EXPECT_TRUE(SyntheticImageDataset::Create(SmallConfig()).ok());
+}
+
+TEST(SyntheticImagesTest, ShapeAndLabels) {
+  auto dataset = SyntheticImageDataset::Create(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->size(), 200);
+  EXPECT_EQ(dataset->num_classes(), 4);
+  EXPECT_EQ(dataset->image_shape(), Shape({3, 16, 16}));
+  std::vector<float> image(3 * 16 * 16);
+  int label = -1;
+  dataset->Get(0, image.data(), &label);
+  EXPECT_EQ(label, 0);
+  dataset->Get(5, image.data(), &label);
+  EXPECT_EQ(label, 1);  // labels cycle modulo num_classes
+}
+
+TEST(SyntheticImagesTest, DeterministicPerIndex) {
+  auto dataset = SyntheticImageDataset::Create(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  std::vector<float> a(3 * 16 * 16), b(3 * 16 * 16);
+  int la = 0, lb = 0;
+  dataset->Get(17, a.data(), &la);
+  dataset->Get(17, b.data(), &lb);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(la, lb);
+}
+
+TEST(SyntheticImagesTest, DifferentIndicesDiffer) {
+  auto dataset = SyntheticImageDataset::Create(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  std::vector<float> a(3 * 16 * 16), b(3 * 16 * 16);
+  int label = 0;
+  dataset->Get(0, a.data(), &label);
+  dataset->Get(4, b.data(), &label);  // same class, different sample
+  EXPECT_NE(a, b);
+}
+
+TEST(SyntheticImagesTest, SameClassMoreSimilarThanCrossClass) {
+  SyntheticImageConfig config = SmallConfig();
+  config.structured_noise = 0.1f;
+  config.white_noise = 0.01f;
+  auto dataset = SyntheticImageDataset::Create(config);
+  ASSERT_TRUE(dataset.ok());
+  const int64_t elems = 3 * 16 * 16;
+  std::vector<float> a(elems), b(elems), c(elems);
+  int label = 0;
+  dataset->Get(0, a.data(), &label);   // class 0
+  dataset->Get(4, b.data(), &label);   // class 0
+  dataset->Get(1, c.data(), &label);   // class 1
+  double same = 0.0, cross = 0.0;
+  for (int64_t i = 0; i < elems; ++i) {
+    same += (a[i] - b[i]) * (a[i] - b[i]);
+    cross += (a[i] - c[i]) * (a[i] - c[i]);
+  }
+  EXPECT_LT(same, cross);
+}
+
+TEST(SyntheticImagesTest, ImageNetLikePresetIsLazy) {
+  // 224x224 images with many samples must construct instantly (templates
+  // only) and produce valid samples on demand.
+  auto dataset = SyntheticImageDataset::Create(
+      SyntheticImageConfig::ImageNetLike(100000, 10, 7));
+  ASSERT_TRUE(dataset.ok());
+  std::vector<float> image(3 * 224 * 224);
+  int label = -1;
+  dataset->Get(99999, image.data(), &label);
+  EXPECT_EQ(label, 99999 % 10);
+}
+
+TEST(DataLoaderTest, BatchShapeAndLabels) {
+  auto dataset = SyntheticImageDataset::Create(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  DataLoader loader(&*dataset, 16, /*shuffle=*/true, 1);
+  Batch batch;
+  loader.Next(&batch);
+  EXPECT_EQ(batch.images.shape(), Shape({16, 3, 16, 16}));
+  EXPECT_EQ(batch.size(), 16);
+  for (int label : batch.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(DataLoaderTest, EpochCountsAdvance) {
+  auto dataset = SyntheticImageDataset::Create(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  DataLoader loader(&*dataset, 64, true, 2);
+  EXPECT_EQ(loader.batches_per_epoch(), 3);  // 200 / 64
+  Batch batch;
+  for (int i = 0; i < 3; ++i) loader.Next(&batch);
+  EXPECT_EQ(loader.epoch(), 0);
+  loader.Next(&batch);  // wraps: the partial tail batch is dropped
+  EXPECT_EQ(loader.epoch(), 1);
+  loader.Reset();
+  EXPECT_EQ(loader.epoch(), 0);
+}
+
+TEST(DataLoaderTest, ShuffleChangesOrderButNotMultiset) {
+  auto dataset = SyntheticImageDataset::Create(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  DataLoader shuffled(&*dataset, 200, true, 3);
+  DataLoader ordered(&*dataset, 200, false, 3);
+  Batch a, b;
+  shuffled.Next(&a);
+  ordered.Next(&b);
+  EXPECT_NE(a.labels, b.labels);
+  std::multiset<int> ma(a.labels.begin(), a.labels.end());
+  std::multiset<int> mb(b.labels.begin(), b.labels.end());
+  EXPECT_EQ(ma, mb);
+}
+
+TEST(DataLoaderTest, UnshuffledIsSequential) {
+  auto dataset = SyntheticImageDataset::Create(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  DataLoader loader(&*dataset, 8, false, 4);
+  Batch batch;
+  loader.Next(&batch);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(batch.labels[static_cast<size_t>(i)], i % 4);
+  }
+}
+
+TEST(MakeBatchTest, SlicesRange) {
+  auto dataset = SyntheticImageDataset::Create(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  const Batch batch = MakeBatch(*dataset, 10, 6);
+  EXPECT_EQ(batch.size(), 6);
+  EXPECT_EQ(batch.labels[0], 10 % 4);
+  EXPECT_EQ(batch.labels[5], 15 % 4);
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,139 @@
+// Tests for ExactDedupRows and the reuse reporting helpers.
+
+#include <gtest/gtest.h>
+
+#include "clustering/exact_dedup.h"
+#include "clustering/lsh.h"
+#include "core/reuse_report.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+TEST(ExactDedupTest, GroupsIdenticalRows) {
+  Tensor data(Shape({4, 2}), {1, 2, 3, 4, 1, 2, 3, 4});
+  const Clustering c = ExactDedupRows(data.data(), 4, 2, 2);
+  EXPECT_EQ(c.num_clusters(), 2);
+  EXPECT_EQ(c.assignment[0], c.assignment[2]);
+  EXPECT_EQ(c.assignment[1], c.assignment[3]);
+  EXPECT_NE(c.assignment[0], c.assignment[1]);
+}
+
+TEST(ExactDedupTest, DistinctRowsStaySeparate) {
+  Rng rng(1);
+  Tensor data = Tensor::RandomGaussian(Shape({50, 8}), &rng);
+  const Clustering c = ExactDedupRows(data.data(), 50, 8, 8);
+  EXPECT_EQ(c.num_clusters(), 50);
+  EXPECT_DOUBLE_EQ(c.remaining_ratio(), 1.0);
+}
+
+TEST(ExactDedupTest, ToleranceMergesNearbyRows) {
+  Tensor data(Shape({3, 2}), {1.0f, 2.0f, 1.004f, 2.004f, 5.0f, 5.0f});
+  const Clustering exact = ExactDedupRows(data.data(), 3, 2, 2, 0.0f);
+  EXPECT_EQ(exact.num_clusters(), 3);
+  const Clustering coarse = ExactDedupRows(data.data(), 3, 2, 2, 0.1f);
+  EXPECT_EQ(coarse.num_clusters(), 2);
+  EXPECT_EQ(coarse.assignment[0], coarse.assignment[1]);
+}
+
+TEST(ExactDedupTest, RespectsRowStride) {
+  // Width-2 rows at stride 4, identical in the first two columns only.
+  Tensor data(Shape({2, 4}), {1, 2, 99, 98, 1, 2, 55, 54});
+  const Clustering c = ExactDedupRows(data.data(), 2, 2, 4);
+  EXPECT_EQ(c.num_clusters(), 1);
+}
+
+TEST(ExactDedupTest, LshFindsAtLeastAsMuchReuseOnNoisyDuplicates) {
+  // Near-duplicates: exact dedup sees all-distinct rows, LSH groups them —
+  // the gap is deep reuse's advantage over trivial memoization.
+  Rng rng(2);
+  Tensor proto = Tensor::RandomGaussian(Shape({16}), &rng);
+  Tensor data(Shape({64, 16}));
+  for (int64_t i = 0; i < 64; ++i) {
+    for (int64_t j = 0; j < 16; ++j) {
+      data.at(i, j) = proto.at(j) + 1e-4f * rng.NextGaussian();
+    }
+  }
+  const Clustering dedup = ExactDedupRows(data.data(), 64, 16, 16);
+  EXPECT_EQ(dedup.num_clusters(), 64);  // all bitwise distinct
+
+  LshFamily family;
+  ASSERT_TRUE(LshFamily::Create(16, 16, 3, &family).ok());
+  const Clustering lsh = LshCluster(family, data.data(), 64, 16);
+  EXPECT_LT(lsh.num_clusters(), 5);  // nearly one cluster
+}
+
+Conv2dConfig ReportConv() {
+  Conv2dConfig config;
+  config.in_channels = 2;
+  config.out_channels = 4;
+  config.kernel = 3;
+  config.stride = 1;
+  config.pad = 1;
+  config.in_height = 6;
+  config.in_width = 6;
+  return config;
+}
+
+TEST(ReuseReportTest, CollectsAndFormats) {
+  Rng rng(3);
+  ReuseConfig reuse;
+  reuse.num_hashes = 8;
+  ReuseConv2d layer1("conv1", ReportConv(), reuse, &rng);
+  ReuseConv2d layer2("conv2", ReportConv(), reuse, &rng);
+  Rng data_rng(4);
+  Tensor in = Tensor::RandomGaussian(Shape({1, 2, 6, 6}), &data_rng);
+  layer1.Forward(in, true);
+  layer2.Forward(in, true);
+
+  const ReuseReport report = CollectReuseReport({&layer1, &layer2});
+  ASSERT_EQ(report.layers.size(), 2u);
+  EXPECT_EQ(report.layers[0].name, "conv1");
+  EXPECT_GT(report.total_macs_baseline, 0.0);
+  EXPECT_DOUBLE_EQ(report.total_macs_baseline,
+                   report.layers[0].macs_baseline +
+                       report.layers[1].macs_baseline);
+
+  const std::string table = FormatReuseReport(report);
+  EXPECT_NE(table.find("conv1"), std::string::npos);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+}
+
+TEST(ReuseReportTest, ApplyConfigClampsPerLayer) {
+  Rng rng(5);
+  ReuseConfig reuse;
+  reuse.num_hashes = 8;
+  ReuseConv2d layer("conv", ReportConv(), reuse, &rng);  // K = 18
+  ReuseConfig wide;
+  wide.sub_vector_length = 1000;
+  wide.num_hashes = 10;
+  ASSERT_TRUE(ApplyReuseConfig({&layer}, wide).ok());
+  EXPECT_LE(layer.reuse_config().sub_vector_length, 18);
+  EXPECT_EQ(layer.reuse_config().num_hashes, 10);
+}
+
+TEST(ReuseReportTest, ApplyConfigPropagatesErrors) {
+  Rng rng(6);
+  ReuseConfig reuse;
+  reuse.num_hashes = 8;
+  ReuseConv2d layer("conv", ReportConv(), reuse, &rng);
+  ReuseConfig bad;
+  bad.num_hashes = 0;
+  EXPECT_FALSE(ApplyReuseConfig({&layer}, bad).ok());
+}
+
+TEST(ReuseReportTest, ResetStatsClearsAll) {
+  Rng rng(7);
+  ReuseConfig reuse;
+  reuse.num_hashes = 8;
+  ReuseConv2d layer("conv", ReportConv(), reuse, &rng);
+  Rng data_rng(8);
+  Tensor in = Tensor::RandomGaussian(Shape({1, 2, 6, 6}), &data_rng);
+  layer.Forward(in, true);
+  ResetReuseStats({&layer});
+  EXPECT_EQ(layer.stats().forward_calls, 0);
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,103 @@
+// Tests for the command-line flag parser.
+
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace adr {
+namespace {
+
+TEST(FlagsTest, ParsesAllTypesEqualsForm) {
+  int64_t steps = 0;
+  double rate = 0.0;
+  bool verbose = false;
+  std::string name;
+  FlagSet flags;
+  flags.AddInt64("steps", &steps, "");
+  flags.AddDouble("rate", &rate, "");
+  flags.AddBool("verbose", &verbose, "");
+  flags.AddString("name", &name, "");
+  const char* argv[] = {"prog", "--steps=42", "--rate=0.5",
+                        "--verbose=true", "--name=cifarnet"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(steps, 42);
+  EXPECT_DOUBLE_EQ(rate, 0.5);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(name, "cifarnet");
+}
+
+TEST(FlagsTest, ParsesSpaceSeparatedValues) {
+  int64_t steps = 0;
+  FlagSet flags;
+  flags.AddInt64("steps", &steps, "");
+  const char* argv[] = {"prog", "--steps", "7"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(steps, 7);
+}
+
+TEST(FlagsTest, BareAndNegatedBooleans) {
+  bool a = false, b = true;
+  FlagSet flags;
+  flags.AddBool("alpha", &a, "");
+  flags.AddBool("beta", &b, "");
+  const char* argv[] = {"prog", "--alpha", "--no-beta"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagsTest, CollectsPositionals) {
+  FlagSet flags;
+  int64_t x = 0;
+  flags.AddInt64("x", &x, "");
+  const char* argv[] = {"prog", "first", "--x=1", "second"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagSet flags;
+  const char* argv[] = {"prog", "--mystery=1"};
+  EXPECT_EQ(flags.Parse(2, argv).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, RejectsMalformedNumbers) {
+  int64_t steps = 0;
+  double rate = 0.0;
+  FlagSet flags;
+  flags.AddInt64("steps", &steps, "");
+  flags.AddDouble("rate", &rate, "");
+  const char* bad_int[] = {"prog", "--steps=abc"};
+  EXPECT_FALSE(flags.Parse(2, bad_int).ok());
+  const char* bad_double[] = {"prog", "--rate=1.2.3"};
+  EXPECT_FALSE(flags.Parse(2, bad_double).ok());
+}
+
+TEST(FlagsTest, RejectsMissingValue) {
+  int64_t steps = 0;
+  FlagSet flags;
+  flags.AddInt64("steps", &steps, "");
+  const char* argv[] = {"prog", "--steps"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, RejectsBadBoolValue) {
+  bool flag = false;
+  FlagSet flags;
+  flags.AddBool("flag", &flag, "");
+  const char* argv[] = {"prog", "--flag=maybe"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  int64_t steps = 0;
+  FlagSet flags;
+  flags.AddInt64("steps", &steps, "number of steps");
+  const std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("--steps"), std::string::npos);
+  EXPECT_NE(usage.find("number of steps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adr

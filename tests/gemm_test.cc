@@ -1,0 +1,129 @@
+// Tests for the blocked GEMM kernels against the naive reference,
+// including a parameterized sweep over awkward (non-block-aligned) sizes.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+Tensor RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandomGaussian(Shape({rows, cols}), &rng);
+}
+
+TEST(GemmTest, TinyKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Tensor a(Shape({2, 2}), {1, 2, 3, 4});
+  Tensor b(Shape({2, 2}), {5, 6, 7, 8});
+  Tensor c(Shape({2, 2}));
+  Gemm(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(GemmTest, AccumulateAddsIntoC) {
+  Tensor a(Shape({1, 1}), {2.0f});
+  Tensor b(Shape({1, 1}), {3.0f});
+  Tensor c(Shape({1, 1}), {10.0f});
+  Gemm(a.data(), b.data(), c.data(), 1, 1, 1, /*accumulate=*/true);
+  EXPECT_EQ(c.at(0), 16.0f);
+  Gemm(a.data(), b.data(), c.data(), 1, 1, 1, /*accumulate=*/false);
+  EXPECT_EQ(c.at(0), 6.0f);
+}
+
+TEST(GemmTest, IdentityLeavesMatrixUnchanged) {
+  const int64_t n = 37;
+  Tensor identity(Shape({n, n}));
+  for (int64_t i = 0; i < n; ++i) identity.at(i, i) = 1.0f;
+  Tensor x = RandomMatrix(n, n, 5);
+  Tensor y(Shape({n, n}));
+  Gemm(identity.data(), x.data(), y.data(), n, n, n);
+  EXPECT_TRUE(AllClose(y, x));
+}
+
+TEST(GemmTransATest, MatchesExplicitTranspose) {
+  const int64_t m = 13, k = 29, n = 17;
+  Tensor a = RandomMatrix(k, m, 1);  // stored KxM
+  Tensor b = RandomMatrix(k, n, 2);
+  // Explicit transpose then regular GEMM.
+  Tensor at(Shape({m, k}));
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < m; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Tensor expected(Shape({m, n}));
+  GemmReference(at.data(), b.data(), expected.data(), m, k, n);
+  Tensor actual(Shape({m, n}));
+  GemmTransA(a.data(), b.data(), actual.data(), m, k, n);
+  EXPECT_TRUE(AllClose(actual, expected, 1e-4f, 1e-5f));
+}
+
+TEST(GemmTransBTest, MatchesExplicitTranspose) {
+  const int64_t m = 11, k = 23, n = 19;
+  Tensor a = RandomMatrix(m, k, 3);
+  Tensor b = RandomMatrix(n, k, 4);  // stored NxK
+  Tensor bt(Shape({k, n}));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < k; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  Tensor expected(Shape({m, n}));
+  GemmReference(a.data(), bt.data(), expected.data(), m, k, n);
+  Tensor actual(Shape({m, n}));
+  GemmTransB(a.data(), b.data(), actual.data(), m, k, n);
+  EXPECT_TRUE(AllClose(actual, expected, 1e-4f, 1e-5f));
+}
+
+TEST(GemmTransATest, AccumulateAddsIntoC) {
+  Tensor a(Shape({1, 1}), {2.0f});
+  Tensor b(Shape({1, 1}), {3.0f});
+  Tensor c(Shape({1, 1}), {1.0f});
+  GemmTransA(a.data(), b.data(), c.data(), 1, 1, 1, /*accumulate=*/true);
+  EXPECT_EQ(c.at(0), 7.0f);
+}
+
+TEST(GemmTransBTest, AccumulateAddsIntoC) {
+  Tensor a(Shape({1, 1}), {2.0f});
+  Tensor b(Shape({1, 1}), {3.0f});
+  Tensor c(Shape({1, 1}), {1.0f});
+  GemmTransB(a.data(), b.data(), c.data(), 1, 1, 1, /*accumulate=*/true);
+  EXPECT_EQ(c.at(0), 7.0f);
+}
+
+// Parameterized sweep: blocked kernels must agree with the reference on
+// sizes around the block boundaries (64, 128, 256) and degenerate sizes.
+class GemmSizeSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {
+};
+
+TEST_P(GemmSizeSweep, BlockedMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Tensor a = RandomMatrix(m, k, 10 + static_cast<uint64_t>(m));
+  Tensor b = RandomMatrix(k, n, 20 + static_cast<uint64_t>(n));
+  Tensor expected(Shape({m, n}));
+  GemmReference(a.data(), b.data(), expected.data(), m, k, n);
+  Tensor actual(Shape({m, n}));
+  Gemm(a.data(), b.data(), actual.data(), m, k, n);
+  EXPECT_TRUE(AllClose(actual, expected, 1e-4f, 1e-5f))
+      << "m=" << m << " k=" << k << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmSizeSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 64, 1),
+                      std::make_tuple(7, 5, 3), std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 129, 257),
+                      std::make_tuple(63, 127, 255),
+                      std::make_tuple(128, 1, 128),
+                      std::make_tuple(3, 300, 2),
+                      std::make_tuple(100, 75, 64)));
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,86 @@
+// Finite-difference gradient checking shared by the layer tests.
+//
+// Uses the standard trick: for a random projection vector g, define the
+// scalar loss L(x) = <Forward(x), g>. Then dL/dx must equal Backward(g)
+// and dL/dtheta must equal the layer's parameter gradients.
+
+#ifndef ADR_TESTS_GRADIENT_CHECK_H_
+#define ADR_TESTS_GRADIENT_CHECK_H_
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace adr::testutil {
+
+inline double Dot(const Tensor& a, const Tensor& b) {
+  EXPECT_TRUE(a.SameShape(b));
+  double sum = 0.0;
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    sum += static_cast<double>(a.at(i)) * b.at(i);
+  }
+  return sum;
+}
+
+/// Checks the input gradient and all parameter gradients of `layer` at
+/// `input` against central finite differences.
+inline void CheckGradients(Layer* layer, const Tensor& input,
+                           double tolerance = 5e-2, float epsilon = 1e-3f,
+                           uint64_t seed = 7) {
+  Rng rng(seed);
+  Tensor base_out = layer->Forward(input, /*training=*/false);
+  Tensor projection =
+      Tensor::RandomGaussian(base_out.shape(), &rng, 0.0f, 1.0f);
+  Tensor grad_input = layer->Backward(projection);
+  ASSERT_TRUE(grad_input.SameShape(input));
+
+  // Input gradient. Check a subsample of coordinates for speed.
+  Tensor x = input;
+  const int64_t n = x.num_elements();
+  const int64_t step = std::max<int64_t>(1, n / 64);
+  for (int64_t i = 0; i < n; i += step) {
+    const float saved = x.at(i);
+    x.at(i) = saved + epsilon;
+    const double up = Dot(layer->Forward(x, false), projection);
+    x.at(i) = saved - epsilon;
+    const double down = Dot(layer->Forward(x, false), projection);
+    x.at(i) = saved;
+    const double numeric = (up - down) / (2.0 * epsilon);
+    EXPECT_NEAR(grad_input.at(i), numeric,
+                tolerance * (std::abs(numeric) + 1.0))
+        << "input coordinate " << i;
+  }
+
+  // Parameter gradients (recompute analytic grads at the original input).
+  layer->Forward(input, false);
+  layer->Backward(projection);
+  const std::vector<Tensor*> params = layer->Parameters();
+  const std::vector<Tensor*> grads = layer->Gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  for (size_t p = 0; p < params.size(); ++p) {
+    Tensor analytic = *grads[p];  // copy: perturbing params overwrites them
+    Tensor* param = params[p];
+    const int64_t count = param->num_elements();
+    const int64_t pstep = std::max<int64_t>(1, count / 48);
+    for (int64_t i = 0; i < count; i += pstep) {
+      const float saved = param->at(i);
+      param->at(i) = saved + epsilon;
+      const double up = Dot(layer->Forward(input, false), projection);
+      param->at(i) = saved - epsilon;
+      const double down = Dot(layer->Forward(input, false), projection);
+      param->at(i) = saved;
+      const double numeric = (up - down) / (2.0 * epsilon);
+      EXPECT_NEAR(analytic.at(i), numeric,
+                  tolerance * (std::abs(numeric) + 1.0))
+          << "param " << p << " coordinate " << i;
+    }
+  }
+}
+
+}  // namespace adr::testutil
+
+#endif  // ADR_TESTS_GRADIENT_CHECK_H_

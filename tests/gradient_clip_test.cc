@@ -1,0 +1,60 @@
+// Tests for gradient clipping.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/gradient_clip.h"
+#include "tensor/tensor_ops.h"
+
+namespace adr {
+namespace {
+
+TEST(GradientClipTest, GlobalNormAcrossTensors) {
+  Tensor a(Shape({2}), {3.0f, 0.0f});
+  Tensor b(Shape({1}), {4.0f});
+  EXPECT_DOUBLE_EQ(GlobalGradientNorm({&a, &b}), 5.0);
+}
+
+TEST(GradientClipTest, NoClipBelowThreshold) {
+  Tensor g(Shape({2}), {0.3f, 0.4f});  // norm 0.5
+  const double norm = ClipGradientsByGlobalNorm({&g}, 1.0);
+  EXPECT_NEAR(norm, 0.5, 1e-6);
+  EXPECT_FLOAT_EQ(g.at(0), 0.3f);
+  EXPECT_FLOAT_EQ(g.at(1), 0.4f);
+}
+
+TEST(GradientClipTest, ScalesDownAboveThreshold) {
+  Tensor g(Shape({2}), {3.0f, 4.0f});  // norm 5
+  const double norm = ClipGradientsByGlobalNorm({&g}, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(GlobalGradientNorm({&g}), 1.0, 1e-6);
+  // Direction preserved.
+  EXPECT_NEAR(g.at(1) / g.at(0), 4.0f / 3.0f, 1e-5f);
+}
+
+TEST(GradientClipTest, MultiTensorClipIsJoint) {
+  Tensor a(Shape({1}), {3.0f});
+  Tensor b(Shape({1}), {4.0f});
+  ClipGradientsByGlobalNorm({&a, &b}, 2.5);  // joint norm 5 -> scale 0.5
+  EXPECT_FLOAT_EQ(a.at(0), 1.5f);
+  EXPECT_FLOAT_EQ(b.at(0), 2.0f);
+}
+
+TEST(GradientClipTest, ClipByValueClamps) {
+  Tensor g(Shape({4}), {-5.0f, -0.5f, 0.5f, 5.0f});
+  ClipGradientsByValue({&g}, 1.0f);
+  EXPECT_FLOAT_EQ(g.at(0), -1.0f);
+  EXPECT_FLOAT_EQ(g.at(1), -0.5f);
+  EXPECT_FLOAT_EQ(g.at(2), 0.5f);
+  EXPECT_FLOAT_EQ(g.at(3), 1.0f);
+}
+
+TEST(GradientClipTest, ZeroGradientsStable) {
+  Tensor g(Shape({3}));
+  EXPECT_DOUBLE_EQ(ClipGradientsByGlobalNorm({&g}, 1.0), 0.0);
+  EXPECT_EQ(MaxAbs(g), 0.0f);
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,111 @@
+// Tests for the k-means substrate used by the Fig. 7 similarity study.
+
+#include <gtest/gtest.h>
+
+#include "clustering/kmeans.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+// Three well-separated 2-D blobs of 20 points each.
+Tensor ThreeBlobs(uint64_t seed) {
+  Rng rng(seed);
+  Tensor data(Shape({60, 2}));
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int64_t i = 0; i < 60; ++i) {
+    const int blob = static_cast<int>(i / 20);
+    data.at(i, 0) = centers[blob][0] + rng.NextGaussian() * 0.2f;
+    data.at(i, 1) = centers[blob][1] + rng.NextGaussian() * 0.2f;
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversSeparableBlobs) {
+  Tensor data = ThreeBlobs(1);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  auto result = KMeans(data.data(), 60, 2, 2, options);
+  ASSERT_TRUE(result.ok());
+  const Clustering& c = result->clustering;
+  EXPECT_EQ(c.num_clusters(), 3);
+  // All points of one blob share a cluster.
+  for (int blob = 0; blob < 3; ++blob) {
+    const int32_t expected = c.assignment[static_cast<size_t>(blob * 20)];
+    for (int64_t i = blob * 20; i < (blob + 1) * 20; ++i) {
+      EXPECT_EQ(c.assignment[static_cast<size_t>(i)], expected);
+    }
+  }
+  EXPECT_LT(result->mean_squared_distance, 0.5);
+}
+
+TEST(KMeansTest, SingleClusterGivesGlobalMean) {
+  Tensor data(Shape({4, 1}), {0, 2, 4, 6});
+  KMeansOptions options;
+  options.num_clusters = 1;
+  auto result = KMeans(data.data(), 4, 1, 1, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FLOAT_EQ(result->centroids.at(0), 3.0f);
+  EXPECT_EQ(result->clustering.cluster_sizes[0], 4);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  Tensor data = ThreeBlobs(2);
+  KMeansOptions options;
+  options.num_clusters = 60;
+  options.max_iterations = 50;
+  auto result = KMeans(data.data(), 60, 2, 2, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.num_clusters(), 60);
+  // Every cluster must be non-empty (empty-cluster reseeding).
+  for (int64_t size : result->clustering.cluster_sizes) {
+    EXPECT_GE(size, 1);
+  }
+  EXPECT_NEAR(result->mean_squared_distance, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  Tensor data(Shape({4, 2}));
+  KMeansOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(KMeans(data.data(), 4, 2, 2, options).ok());
+  options.num_clusters = 5;  // more clusters than rows
+  EXPECT_FALSE(KMeans(data.data(), 4, 2, 2, options).ok());
+  options.num_clusters = 2;
+  EXPECT_FALSE(KMeans(data.data(), 0, 2, 2, options).ok());
+}
+
+TEST(KMeansTest, DeterministicForSameSeed) {
+  Tensor data = ThreeBlobs(3);
+  KMeansOptions options;
+  options.num_clusters = 4;
+  auto a = KMeans(data.data(), 60, 2, 2, options);
+  auto b = KMeans(data.data(), 60, 2, 2, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->clustering.assignment, b->clustering.assignment);
+}
+
+TEST(KMeansTest, RemainingRatioMatchesDefinition) {
+  Tensor data = ThreeBlobs(4);
+  KMeansOptions options;
+  options.num_clusters = 6;
+  auto result = KMeans(data.data(), 60, 2, 2, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->clustering.remaining_ratio(), 6.0 / 60.0);
+}
+
+TEST(KMeansTest, StridedRowsSupported) {
+  // Rows of width 2 embedded in stride-5 storage.
+  Rng rng(5);
+  Tensor data = Tensor::RandomGaussian(Shape({10, 5}), &rng);
+  KMeansOptions options;
+  options.num_clusters = 2;
+  auto result = KMeans(data.data(), 10, 2, 5, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.num_rows(), 10);
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,148 @@
+// Property tests for sign-random-projection LSH: the per-bit collision
+// probability of two vectors at angle theta is 1 - theta/pi (Goemans &
+// Williamson / Charikar), which is the theoretical foundation the paper's
+// clustering rests on.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "clustering/lsh.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+// Counts matching bits between two signatures over the first H bits.
+int MatchingBits(const LshSignature& a, const LshSignature& b, int h) {
+  int matches = 0;
+  for (int i = 0; i < h; ++i) {
+    const bool bit_a = (a.words[i >> 6] >> (i & 63)) & 1;
+    const bool bit_b = (b.words[i >> 6] >> (i & 63)) & 1;
+    if (bit_a == bit_b) ++matches;
+  }
+  return matches;
+}
+
+class LshAngleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LshAngleSweep, BitCollisionMatchesTheory) {
+  const double theta = GetParam();
+  // Build many independent hash families; for each, hash a fixed pair of
+  // vectors at angle theta and count per-bit agreements.
+  const int64_t dim = 16;
+  const int h = 64;
+  const int families = 40;
+
+  // Construct u along e0 and v at angle theta in the (e0, e1) plane.
+  Tensor u(Shape({dim}));
+  Tensor v(Shape({dim}));
+  u.at(0) = 1.0f;
+  v.at(0) = static_cast<float>(std::cos(theta));
+  v.at(1) = static_cast<float>(std::sin(theta));
+
+  int64_t agreements = 0;
+  for (int f = 0; f < families; ++f) {
+    LshFamily family;
+    ASSERT_TRUE(
+        LshFamily::Create(dim, h, 1000 + static_cast<uint64_t>(f), &family)
+            .ok());
+    agreements += MatchingBits(family.Hash(u.data()), family.Hash(v.data()),
+                               h);
+  }
+  const double observed =
+      static_cast<double>(agreements) / (families * h);
+  const double expected = 1.0 - theta / M_PI;
+  // ~2560 Bernoulli trials: 3-sigma is about 0.03.
+  EXPECT_NEAR(observed, expected, 0.04)
+      << "theta = " << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, LshAngleSweep,
+                         ::testing::Values(0.0, M_PI / 8, M_PI / 4,
+                                           M_PI / 2, 3 * M_PI / 4, M_PI));
+
+class LshHashCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LshHashCountSweep, ClusterCountGrowsWithH) {
+  // On i.i.d. Gaussian rows, the expected number of clusters rises
+  // monotonically with H (more hyperplanes split finer). Property checked
+  // across H with a shared dataset.
+  const int h = GetParam();
+  Rng rng(42);
+  Tensor data = Tensor::RandomGaussian(Shape({256, 12}), &rng);
+
+  LshFamily family;
+  ASSERT_TRUE(LshFamily::Create(12, h, 7, &family).ok());
+  const Clustering clustering =
+      LshCluster(family, data.data(), 256, 12);
+  // Coarse bounds: at least 2^0 clusters and at most min(2^h, 256).
+  EXPECT_GE(clustering.num_clusters(), 1);
+  EXPECT_LE(clustering.num_clusters(),
+            std::min<int64_t>(int64_t{1} << std::min(h, 62), 256));
+  // Record into a static to assert monotonicity across the sweep order.
+  static int last_h = -1;
+  static int64_t last_count = 0;
+  if (last_h >= 0 && h > last_h) {
+    EXPECT_GE(clustering.num_clusters(), last_count);
+  }
+  last_h = h;
+  last_count = clustering.num_clusters();
+}
+
+INSTANTIATE_TEST_SUITE_P(HashCounts, LshHashCountSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(LshPropertyTest, SignatureStableAcrossBatchSplits) {
+  // Hashing rows one-by-one, in one batch, or via strided access must give
+  // identical signatures — the invariant cluster reuse depends on.
+  Rng rng(9);
+  Tensor data = Tensor::RandomGaussian(Shape({32, 10}), &rng);
+  LshFamily family;
+  ASSERT_TRUE(LshFamily::Create(10, 24, 5, &family).ok());
+
+  std::vector<LshSignature> batched;
+  family.HashRows(data.data(), 32, 10, &batched);
+  for (int64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(batched[static_cast<size_t>(i)],
+              family.Hash(data.data() + i * 10));
+  }
+
+  std::vector<LshSignature> first_half, second_half;
+  family.HashRows(data.data(), 16, 10, &first_half);
+  family.HashRows(data.data() + 16 * 10, 16, 10, &second_half);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(first_half[static_cast<size_t>(i)],
+              batched[static_cast<size_t>(i)]);
+    EXPECT_EQ(second_half[static_cast<size_t>(i)],
+              batched[static_cast<size_t>(16 + i)]);
+  }
+}
+
+TEST(LshPropertyTest, PerturbationCollisionDecaysWithMagnitude) {
+  // The larger the perturbation, the lower the full-signature collision
+  // rate — the graded-similarity behaviour adaptive deep reuse exploits.
+  Rng rng(11);
+  LshFamily family;
+  ASSERT_TRUE(LshFamily::Create(24, 12, 3, &family).ok());
+  const int trials = 300;
+  int collisions_small = 0, collisions_large = 0;
+  for (int t = 0; t < trials; ++t) {
+    Tensor base = Tensor::RandomGaussian(Shape({24}), &rng);
+    Tensor small = base;
+    Tensor large = base;
+    for (int64_t i = 0; i < 24; ++i) {
+      small.at(i) += 0.02f * rng.NextGaussian();
+      large.at(i) += 0.5f * rng.NextGaussian();
+    }
+    const LshSignature sig = family.Hash(base.data());
+    if (sig == family.Hash(small.data())) ++collisions_small;
+    if (sig == family.Hash(large.data())) ++collisions_large;
+  }
+  EXPECT_GT(collisions_small, collisions_large);
+  EXPECT_GT(collisions_small, trials * 3 / 5);
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,251 @@
+// Layer tests: shapes, known values, and finite-difference gradient checks.
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+#include "tensor/tensor_ops.h"
+#include "tests/gradient_check.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+TEST(ReluTest, ForwardClampsNegatives) {
+  Relu relu("relu");
+  Tensor in(Shape({4}), {-1.0f, 0.0f, 2.0f, -3.0f});
+  Tensor out = relu.Forward(in, false);
+  EXPECT_EQ(out.at(0), 0.0f);
+  EXPECT_EQ(out.at(1), 0.0f);
+  EXPECT_EQ(out.at(2), 2.0f);
+  EXPECT_EQ(out.at(3), 0.0f);
+}
+
+TEST(ReluTest, BackwardMasksGradient) {
+  Relu relu("relu");
+  Tensor in(Shape({3}), {-1.0f, 1.0f, 2.0f});
+  relu.Forward(in, false);
+  Tensor grad(Shape({3}), {5.0f, 5.0f, 5.0f});
+  Tensor gin = relu.Backward(grad);
+  EXPECT_EQ(gin.at(0), 0.0f);
+  EXPECT_EQ(gin.at(1), 5.0f);
+  EXPECT_EQ(gin.at(2), 5.0f);
+}
+
+TEST(TanhTest, GradientCheck) {
+  Tanh tanh_layer("tanh");
+  Rng rng(1);
+  Tensor in = Tensor::RandomGaussian(Shape({2, 5}), &rng);
+  testutil::CheckGradients(&tanh_layer, in);
+}
+
+TEST(Conv2dTest, OutputShape) {
+  Rng rng(2);
+  Conv2dConfig config;
+  config.in_channels = 3;
+  config.out_channels = 8;
+  config.kernel = 3;
+  config.stride = 1;
+  config.pad = 1;
+  config.in_height = 6;
+  config.in_width = 6;
+  Conv2d conv("conv", config, &rng);
+  Tensor in = Tensor::RandomGaussian(Shape({2, 3, 6, 6}), &rng);
+  Tensor out = conv.Forward(in, false);
+  EXPECT_EQ(out.shape(), Shape({2, 8, 6, 6}));
+}
+
+TEST(Conv2dTest, KnownConvolution) {
+  // 1-channel 3x3 input, single 2x2 all-ones filter, no pad.
+  Rng rng(3);
+  Conv2dConfig config;
+  config.in_channels = 1;
+  config.out_channels = 1;
+  config.kernel = 2;
+  config.in_height = 3;
+  config.in_width = 3;
+  Conv2d conv("conv", config, &rng);
+  conv.weight().Fill(1.0f);
+  conv.bias().Fill(0.5f);
+  Tensor in(Shape({1, 1, 3, 3}), {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor out = conv.Forward(in, false);
+  EXPECT_EQ(out.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0), 0 + 1 + 3 + 4 + 0.5f);
+  EXPECT_FLOAT_EQ(out.at(3), 4 + 5 + 7 + 8 + 0.5f);
+}
+
+TEST(Conv2dTest, GradientCheck) {
+  Rng rng(4);
+  Conv2dConfig config;
+  config.in_channels = 2;
+  config.out_channels = 3;
+  config.kernel = 3;
+  config.stride = 1;
+  config.pad = 1;
+  config.in_height = 5;
+  config.in_width = 5;
+  Conv2d conv("conv", config, &rng);
+  Tensor in = Tensor::RandomGaussian(Shape({2, 2, 5, 5}), &rng);
+  testutil::CheckGradients(&conv, in);
+}
+
+TEST(Conv2dTest, StridedGradientCheck) {
+  Rng rng(5);
+  Conv2dConfig config;
+  config.in_channels = 1;
+  config.out_channels = 2;
+  config.kernel = 3;
+  config.stride = 2;
+  config.pad = 0;
+  config.in_height = 7;
+  config.in_width = 7;
+  Conv2d conv("conv", config, &rng);
+  Tensor in = Tensor::RandomGaussian(Shape({1, 1, 7, 7}), &rng);
+  testutil::CheckGradients(&conv, in);
+}
+
+TEST(Conv2dTest, ForwardMacs) {
+  Rng rng(6);
+  Conv2dConfig config;
+  config.in_channels = 3;
+  config.out_channels = 4;
+  config.kernel = 5;
+  config.pad = 2;
+  config.in_height = 8;
+  config.in_width = 8;
+  Conv2d conv("conv", config, &rng);
+  // N = 2*8*8 = 128, K = 75, M = 4.
+  EXPECT_DOUBLE_EQ(conv.ForwardMacs(2), 128.0 * 75.0 * 4.0);
+}
+
+TEST(RowsToNchwTest, RoundTrip) {
+  Rng rng(7);
+  Tensor nchw = Tensor::RandomGaussian(Shape({2, 3, 4, 5}), &rng);
+  Tensor rows = NchwToRows(nchw);
+  EXPECT_EQ(rows.shape(), Shape({2 * 4 * 5, 3}));
+  Tensor back = RowsToNchw(rows, 2, 3, 4, 5);
+  EXPECT_EQ(MaxAbsDiff(back, nchw), 0.0f);
+}
+
+TEST(MaxPoolTest, ForwardPicksMaxima) {
+  MaxPool2d pool("pool", PoolConfig{2, 2});
+  Tensor in(Shape({1, 1, 2, 4}), {1, 5, 2, 0, 3, 4, 8, 1});
+  Tensor out = pool.Forward(in, false);
+  EXPECT_EQ(out.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_EQ(out.at(0), 5.0f);
+  EXPECT_EQ(out.at(1), 8.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool("pool", PoolConfig{2, 2});
+  Tensor in(Shape({1, 1, 2, 2}), {1, 5, 3, 4});
+  pool.Forward(in, false);
+  Tensor grad(Shape({1, 1, 1, 1}), {7.0f});
+  Tensor gin = pool.Backward(grad);
+  EXPECT_EQ(gin.at(0), 0.0f);
+  EXPECT_EQ(gin.at(1), 7.0f);  // the max was at index 1
+  EXPECT_EQ(gin.at(2), 0.0f);
+  EXPECT_EQ(gin.at(3), 0.0f);
+}
+
+TEST(MaxPoolTest, OverlappingWindows) {
+  MaxPool2d pool("pool", PoolConfig{3, 2});
+  Rng rng(8);
+  Tensor in = Tensor::RandomGaussian(Shape({1, 2, 7, 7}), &rng);
+  Tensor out = pool.Forward(in, false);
+  EXPECT_EQ(out.shape(), Shape({1, 2, 3, 3}));
+}
+
+TEST(AvgPoolTest, ForwardAverages) {
+  AvgPool2d pool("pool", PoolConfig{2, 2});
+  Tensor in(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
+  Tensor out = pool.Forward(in, false);
+  EXPECT_FLOAT_EQ(out.at(0), 2.5f);
+}
+
+TEST(AvgPoolTest, BackwardSpreadsUniformly) {
+  AvgPool2d pool("pool", PoolConfig{2, 2});
+  Tensor in(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
+  pool.Forward(in, false);
+  Tensor grad(Shape({1, 1, 1, 1}), {8.0f});
+  Tensor gin = pool.Backward(grad);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gin.at(i), 2.0f);
+}
+
+TEST(DenseTest, ForwardKnownValues) {
+  Rng rng(9);
+  Dense dense("fc", 2, 2, &rng);
+  std::vector<Tensor*> params = dense.Parameters();
+  *params[0] = Tensor(Shape({2, 2}), {1, 2, 3, 4});  // W
+  *params[1] = Tensor(Shape({2}), {10, 20});         // b
+  Tensor in(Shape({1, 2}), {1, 1});
+  Tensor out = dense.Forward(in, false);
+  EXPECT_FLOAT_EQ(out.at(0), 1 + 3 + 10);
+  EXPECT_FLOAT_EQ(out.at(1), 2 + 4 + 20);
+}
+
+TEST(DenseTest, GradientCheck) {
+  Rng rng(10);
+  Dense dense("fc", 6, 4, &rng);
+  Tensor in = Tensor::RandomGaussian(Shape({3, 6}), &rng);
+  testutil::CheckGradients(&dense, in);
+}
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten flatten("flatten");
+  Rng rng(11);
+  Tensor in = Tensor::RandomGaussian(Shape({2, 3, 4, 4}), &rng);
+  Tensor out = flatten.Forward(in, false);
+  EXPECT_EQ(out.shape(), Shape({2, 48}));
+  Tensor back = flatten.Backward(out);
+  EXPECT_EQ(back.shape(), in.shape());
+  EXPECT_EQ(MaxAbsDiff(back, in), 0.0f);
+}
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Rng rng(12);
+  Dropout dropout("drop", 0.5f, &rng);
+  Tensor in = Tensor::RandomGaussian(Shape({100}), &rng);
+  Tensor out = dropout.Forward(in, /*training=*/false);
+  EXPECT_EQ(MaxAbsDiff(out, in), 0.0f);
+}
+
+TEST(DropoutTest, TrainingDropsRoughlyP) {
+  Rng rng(13);
+  Dropout dropout("drop", 0.3f, &rng);
+  Tensor in = Tensor::Ones(Shape({10000}));
+  Tensor out = dropout.Forward(in, /*training=*/true);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < out.num_elements(); ++i) {
+    if (out.at(i) == 0.0f) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+  // Survivors are scaled so the expectation is preserved.
+  EXPECT_NEAR(Mean(out), 1.0, 0.05);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Rng rng(14);
+  Dropout dropout("drop", 0.5f, &rng);
+  Tensor in = Tensor::Ones(Shape({1000}));
+  Tensor out = dropout.Forward(in, true);
+  Tensor grad = Tensor::Ones(Shape({1000}));
+  Tensor gin = dropout.Backward(grad);
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(gin.at(i), out.at(i));  // both are mask * 1
+  }
+}
+
+TEST(DropoutTest, ZeroProbabilityIsIdentityInTraining) {
+  Rng rng(15);
+  Dropout dropout("drop", 0.0f, &rng);
+  Tensor in = Tensor::RandomGaussian(Shape({50}), &rng);
+  Tensor out = dropout.Forward(in, true);
+  EXPECT_EQ(MaxAbsDiff(out, in), 0.0f);
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,150 @@
+// Tests for BatchNorm2d and LocalResponseNorm.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/normalization.h"
+#include "tensor/tensor_ops.h"
+#include "tests/gradient_check.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+TEST(BatchNormTest, TrainingOutputIsNormalized) {
+  BatchNorm2d bn("bn", 3);
+  Rng rng(1);
+  Tensor in = Tensor::RandomGaussian(Shape({8, 3, 4, 4}), &rng, 5.0f, 2.0f);
+  Tensor out = bn.Forward(in, /*training=*/true);
+  // Per channel: mean ~0, var ~1 (gamma=1, beta=0 at init).
+  const int64_t hw = 16;
+  for (int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (int64_t n = 0; n < 8; ++n) {
+      for (int64_t p = 0; p < hw; ++p) {
+        const float v = out.data()[(n * 3 + c) * hw + p];
+        sum += v;
+        sum_sq += static_cast<double>(v) * v;
+      }
+    }
+    const double mean = sum / (8 * hw);
+    const double var = sum_sq / (8 * hw) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, RunningStatsConvergeToDataStats) {
+  BatchNorm2d bn("bn", 2, /*momentum=*/0.5f);
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    Tensor in = Tensor::RandomGaussian(Shape({16, 2, 4, 4}), &rng, 3.0f,
+                                       1.5f);
+    bn.Forward(in, true);
+  }
+  EXPECT_NEAR(bn.running_mean().at(0), 3.0f, 0.2f);
+  EXPECT_NEAR(bn.running_var().at(0), 2.25f, 0.4f);
+}
+
+TEST(BatchNormTest, InferenceUsesRunningStats) {
+  BatchNorm2d bn("bn", 1, /*momentum=*/0.0f);  // running = last batch
+  Rng rng(3);
+  Tensor train_in =
+      Tensor::RandomGaussian(Shape({16, 1, 4, 4}), &rng, 2.0f, 1.0f);
+  bn.Forward(train_in, true);
+  // A constant input at inference maps deterministically through the
+  // stored statistics.
+  Tensor test_in = Tensor::Full(Shape({1, 1, 4, 4}), 2.0f);
+  Tensor out = bn.Forward(test_in, false);
+  const float expected =
+      (2.0f - bn.running_mean().at(0)) /
+      std::sqrt(bn.running_var().at(0) + 1e-5f);
+  EXPECT_NEAR(out.at(0), expected, 1e-4f);
+}
+
+TEST(BatchNormTest, GradientCheckTrainingMode) {
+  BatchNorm2d bn("bn", 2);
+  Rng rng(4);
+  Tensor in = Tensor::RandomGaussian(Shape({4, 2, 3, 3}), &rng);
+  // Forward in training mode caches batch stats; check input + params.
+  Tensor out = bn.Forward(in, true);
+  Tensor projection = Tensor::RandomGaussian(out.shape(), &rng);
+  Tensor grad = bn.Backward(projection);
+
+  const float eps = 1e-3f;
+  Tensor x = in;
+  for (int64_t i = 0; i < x.num_elements(); i += 7) {
+    const float saved = x.at(i);
+    x.at(i) = saved + eps;
+    const double up = testutil::Dot(bn.Forward(x, true), projection);
+    x.at(i) = saved - eps;
+    const double down = testutil::Dot(bn.Forward(x, true), projection);
+    x.at(i) = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(grad.at(i), numeric, 5e-2 * (std::abs(numeric) + 1.0));
+  }
+}
+
+TEST(BatchNormTest, GammaBetaGradients) {
+  BatchNorm2d bn("bn", 2);
+  Rng rng(5);
+  Tensor in = Tensor::RandomGaussian(Shape({4, 2, 3, 3}), &rng);
+  Tensor out = bn.Forward(in, true);
+  Tensor projection = Tensor::RandomGaussian(out.shape(), &rng);
+  bn.Backward(projection);
+  Tensor analytic_gamma = *bn.Gradients()[0];
+  Tensor analytic_beta = *bn.Gradients()[1];
+
+  const float eps = 1e-3f;
+  for (int64_t c = 0; c < 2; ++c) {
+    Tensor* gamma = bn.Parameters()[0];
+    const float saved = gamma->at(c);
+    gamma->at(c) = saved + eps;
+    const double up = testutil::Dot(bn.Forward(in, true), projection);
+    gamma->at(c) = saved - eps;
+    const double down = testutil::Dot(bn.Forward(in, true), projection);
+    gamma->at(c) = saved;
+    EXPECT_NEAR(analytic_gamma.at(c), (up - down) / (2.0 * eps), 5e-2);
+  }
+  for (int64_t c = 0; c < 2; ++c) {
+    Tensor* beta = bn.Parameters()[1];
+    const float saved = beta->at(c);
+    beta->at(c) = saved + eps;
+    const double up = testutil::Dot(bn.Forward(in, true), projection);
+    beta->at(c) = saved - eps;
+    const double down = testutil::Dot(bn.Forward(in, true), projection);
+    beta->at(c) = saved;
+    EXPECT_NEAR(analytic_beta.at(c), (up - down) / (2.0 * eps), 5e-2);
+  }
+}
+
+TEST(LrnTest, UniformInputScalesAsFormula) {
+  LocalResponseNorm lrn("lrn", /*size=*/3, /*alpha=*/0.3f, /*beta=*/0.5f,
+                        /*k=*/1.0f);
+  // Single pixel, 3 channels, all ones: middle channel window sums 3 ones.
+  Tensor in = Tensor::Ones(Shape({1, 3, 1, 1}));
+  Tensor out = lrn.Forward(in, false);
+  // Channel 1 (middle): scale = 1 + 0.3/3 * 3 = 1.3; y = 1.3^-0.5.
+  EXPECT_NEAR(out.at(1), std::pow(1.3f, -0.5f), 1e-5f);
+  // Edge channels see a 2-element window: scale = 1 + 0.1*2 = 1.2.
+  EXPECT_NEAR(out.at(0), std::pow(1.2f, -0.5f), 1e-5f);
+}
+
+TEST(LrnTest, GradientCheck) {
+  LocalResponseNorm lrn("lrn", 3, 0.2f, 0.75f, 2.0f);
+  Rng rng(6);
+  Tensor in = Tensor::RandomGaussian(Shape({2, 4, 2, 2}), &rng);
+  testutil::CheckGradients(&lrn, in, /*tolerance=*/5e-2);
+}
+
+TEST(LrnTest, IdentityWhenAlphaZero) {
+  LocalResponseNorm lrn("lrn", 5, 0.0f, 0.75f, 1.0f);
+  Rng rng(7);
+  Tensor in = Tensor::RandomGaussian(Shape({1, 6, 3, 3}), &rng);
+  Tensor out = lrn.Forward(in, false);
+  EXPECT_LT(MaxAbsDiff(out, in), 1e-6f);
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,167 @@
+// Tests for the schedule policies (paper Section V-A: Policies 1-3 and
+// Amendment 1), including the paper's own CifarNet/AlexNet geometries.
+
+#include <gtest/gtest.h>
+
+#include "core/parameter_schedule.h"
+
+namespace adr {
+namespace {
+
+LayerScheduleParams CifarNetConv2() {
+  // CifarNet conv2: k_w = 5, I_c = 64, K = 1600, M = 64 (paper Table II).
+  LayerScheduleParams params;
+  params.kernel_w = 5;
+  params.in_channels = 64;
+  params.k = 1600;
+  params.m = 64;
+  params.n = 16384;  // batch 64 of 16x16 outputs
+  params.is_first_layer = false;
+  return params;
+}
+
+TEST(LRangeTest, Policy1CifarNetConv2) {
+  const LayerScheduleParams params = CifarNetConv2();
+  int64_t l_min = 0, l_max = 0;
+  ComputeLRange(params, &l_min, &l_max);
+  // L_min = k_w = 5 (k_w^2 = 25 >= 10 so Amendment 1 does not fire);
+  // L_max = ceil(sqrt(64)) * 5 = 40.
+  EXPECT_EQ(l_min, 5);
+  EXPECT_EQ(l_max, 40);
+}
+
+TEST(LRangeTest, Amendment1FiresForSmallHiddenKernels) {
+  // VGG-style 3x3 hidden layer: k_w^2 = 9 < 10 -> L_min = 9.
+  LayerScheduleParams params;
+  params.kernel_w = 3;
+  params.in_channels = 64;
+  params.k = 576;
+  params.m = 64;
+  params.n = 1 << 14;
+  params.is_first_layer = false;
+  int64_t l_min = 0, l_max = 0;
+  ComputeLRange(params, &l_min, &l_max);
+  EXPECT_EQ(l_min, 9);
+  EXPECT_EQ(l_max, 24);  // ceil(sqrt(64)) * 3
+}
+
+TEST(LRangeTest, Amendment1SkipsFirstLayer) {
+  LayerScheduleParams params;
+  params.kernel_w = 3;
+  params.in_channels = 3;
+  params.k = 27;
+  params.m = 64;
+  params.n = 1 << 14;
+  params.is_first_layer = true;
+  int64_t l_min = 0, l_max = 0;
+  ComputeLRange(params, &l_min, &l_max);
+  EXPECT_EQ(l_min, 3);  // Policy 1 unmodified
+  EXPECT_EQ(l_max, 6);  // ceil(sqrt(3)) * 3
+}
+
+TEST(LRangeTest, ClampedToK) {
+  LayerScheduleParams params;
+  params.kernel_w = 7;
+  params.in_channels = 1;
+  params.k = 10;  // K smaller than the policy range
+  params.m = 8;
+  params.n = 1024;
+  params.is_first_layer = true;
+  int64_t l_min = 0, l_max = 0;
+  ComputeLRange(params, &l_min, &l_max);
+  EXPECT_LE(l_max, 10);
+  EXPECT_GE(l_min, 1);
+  EXPECT_LE(l_min, l_max);
+}
+
+TEST(HRangeTest, Policy2Bounds) {
+  LayerScheduleParams params = CifarNetConv2();
+  params.n = 50000;
+  int h_min = 0, h_max = 0;
+  ComputeHRange(params, &h_min, &h_max);
+  // 2^h_min > 500 -> h_min = 9; 2^h_max < 50000 -> h_max = 15.
+  EXPECT_EQ(h_min, 9);
+  EXPECT_EQ(h_max, 15);
+}
+
+TEST(HRangeTest, SmallNDegenerates) {
+  LayerScheduleParams params = CifarNetConv2();
+  params.n = 4;
+  int h_min = 0, h_max = 0;
+  ComputeHRange(params, &h_min, &h_max);
+  EXPECT_GE(h_min, 1);
+  EXPECT_GE(h_max, h_min);
+}
+
+TEST(CandidateLValuesTest, DivisorsDescending) {
+  const std::vector<int64_t> values = CandidateLValues(1600, 5, 40);
+  // Divisors of 1600 in [5, 40]: 40, 32, 25, 20, 16, 10, 8, 5.
+  EXPECT_EQ(values.front(), 40);
+  EXPECT_EQ(values.back(), 5);
+  for (size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LT(values[i], values[i - 1]);
+    EXPECT_EQ(1600 % values[i], 0);
+  }
+  EXPECT_EQ(values.size(), 8u);
+}
+
+TEST(CandidateLValuesTest, FallbackWhenNoDivisor) {
+  // K = 7 prime, range [2, 5] contains no divisor: fall back to one value.
+  const std::vector<int64_t> values = CandidateLValues(7, 2, 5);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], 5);
+}
+
+TEST(BuildCandidateListTest, StartsAggressiveEndsPrecise) {
+  auto list = BuildCandidateList(CifarNetConv2());
+  ASSERT_TRUE(list.ok());
+  ASSERT_GE(list->size(), 2u);
+  int64_t l_min = 0, l_max = 0;
+  ComputeLRange(CifarNetConv2(), &l_min, &l_max);
+  int h_min = 0, h_max = 0;
+  ComputeHRange(CifarNetConv2(), &h_min, &h_max);
+  EXPECT_EQ(list->front().l, l_max);
+  EXPECT_EQ(list->front().h, h_min);
+  EXPECT_EQ(list->back().l, l_min);
+  EXPECT_EQ(list->back().h, h_max);
+}
+
+TEST(BuildCandidateListTest, MonotoneKnobWalk) {
+  auto list = BuildCandidateList(CifarNetConv2());
+  ASSERT_TRUE(list.ok());
+  for (size_t i = 1; i < list->size(); ++i) {
+    const LhCandidate& prev = (*list)[i - 1];
+    const LhCandidate& cur = (*list)[i];
+    // Exactly one knob moves per step, in its fixed direction.
+    const bool l_moved = cur.l < prev.l && cur.h == prev.h;
+    const bool h_moved = cur.h > prev.h && cur.l == prev.l;
+    EXPECT_TRUE(l_moved || h_moved)
+        << "step " << i << ": " << prev.ToString() << " -> "
+        << cur.ToString();
+  }
+}
+
+TEST(BuildCandidateListTest, CoversWholeGridWalk) {
+  auto list = BuildCandidateList(CifarNetConv2());
+  ASSERT_TRUE(list.ok());
+  const std::vector<int64_t> ls = CandidateLValues(1600, 5, 40);
+  int h_min = 0, h_max = 0;
+  ComputeHRange(CifarNetConv2(), &h_min, &h_max);
+  // A single-knob walk from (L_max, H_min) to (L_min, H_max) has exactly
+  // (#L - 1) + (#H - 1) + 1 entries.
+  EXPECT_EQ(list->size(),
+            ls.size() + static_cast<size_t>(h_max - h_min + 1) - 1);
+}
+
+TEST(BuildCandidateListTest, RejectsBadParams) {
+  LayerScheduleParams params;  // all zero
+  EXPECT_FALSE(BuildCandidateList(params).ok());
+}
+
+TEST(LhCandidateTest, ToString) {
+  const LhCandidate c{40, 9};
+  EXPECT_EQ(c.ToString(), "{L=40, H=9}");
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,187 @@
+// Tests for ReuseBackward (paper Section IV): exactness in the singleton
+// limit, the averaging semantics of Eq. 13, and MAC accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/clustered_matmul.h"
+#include "core/reuse_backward.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+struct DenseBackward {
+  Tensor grad_weight;
+  Tensor grad_x;
+};
+
+DenseBackward ExactBackward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy) {
+  const int64_t n = x.shape()[0], k = x.shape()[1], m = w.shape()[1];
+  DenseBackward result;
+  result.grad_weight = Tensor(Shape({k, m}));
+  GemmTransA(x.data(), dy.data(), result.grad_weight.data(), k, n, m);
+  result.grad_x = Tensor(Shape({n, k}));
+  GemmTransB(dy.data(), w.data(), result.grad_x.data(), n, m, k);
+  return result;
+}
+
+TEST(ReuseBackwardTest, ExactInSingletonLimit) {
+  // Enough hyperplanes that every random row is its own cluster; the
+  // reuse backward must then equal the exact backward.
+  auto families = BlockLshFamilies::Create(6, 0, 80, 1);
+  ASSERT_TRUE(families.ok());
+  Rng rng(1);
+  Tensor x = Tensor::RandomGaussian(Shape({10, 6}), &rng);
+  Tensor w = Tensor::RandomGaussian(Shape({6, 4}), &rng);
+  Tensor dy = Tensor::RandomGaussian(Shape({10, 4}), &rng);
+
+  const ReuseClustering clustering =
+      ClusterSubVectors(*families, x.data(), 10, 10);
+  if (clustering.TotalClusters() != 10) {
+    GTEST_SKIP() << "accidental LSH collision; singleton limit not reached";
+  }
+  const BackwardReuseResult reuse = ReuseBackward(clustering, w, dy);
+  const DenseBackward exact = ExactBackward(x, w, dy);
+  EXPECT_TRUE(AllClose(reuse.grad_weight, exact.grad_weight, 1e-4f, 1e-5f));
+  EXPECT_TRUE(AllClose(reuse.grad_x, exact.grad_x, 1e-4f, 1e-5f));
+}
+
+TEST(ReuseBackwardTest, BiasGradientAlwaysExact)
+{
+  auto families = BlockLshFamilies::Create(6, 3, 2, 2);  // coarse clustering
+  ASSERT_TRUE(families.ok());
+  Rng rng(2);
+  Tensor x = Tensor::RandomGaussian(Shape({20, 6}), &rng);
+  Tensor w = Tensor::RandomGaussian(Shape({6, 5}), &rng);
+  Tensor dy = Tensor::RandomGaussian(Shape({20, 5}), &rng);
+  const ReuseClustering clustering =
+      ClusterSubVectors(*families, x.data(), 20, 20);
+  const BackwardReuseResult reuse = ReuseBackward(clustering, w, dy);
+  EXPECT_TRUE(AllClose(reuse.grad_bias, ColumnSums(dy)));
+}
+
+TEST(ReuseBackwardTest, WeightGradUsesClusterSums) {
+  // Two identical rows in one cluster: dW must be x_c^T (dy_0 + dy_1),
+  // which equals the exact gradient because x rows are identical.
+  auto families = BlockLshFamilies::Create(4, 0, 16, 3);
+  ASSERT_TRUE(families.ok());
+  Rng rng(3);
+  Tensor row = Tensor::RandomGaussian(Shape({4}), &rng);
+  Tensor x(Shape({2, 4}));
+  for (int64_t j = 0; j < 4; ++j) {
+    x.at(0, j) = row.at(j);
+    x.at(1, j) = row.at(j);
+  }
+  Tensor w = Tensor::RandomGaussian(Shape({4, 3}), &rng);
+  Tensor dy = Tensor::RandomGaussian(Shape({2, 3}), &rng);
+
+  const ReuseClustering clustering =
+      ClusterSubVectors(*families, x.data(), 2, 2);
+  ASSERT_EQ(clustering.TotalClusters(), 1);
+  const BackwardReuseResult reuse = ReuseBackward(clustering, w, dy);
+  const DenseBackward exact = ExactBackward(x, w, dy);
+  EXPECT_TRUE(AllClose(reuse.grad_weight, exact.grad_weight, 1e-4f, 1e-5f));
+}
+
+TEST(ReuseBackwardTest, InputDeltaIsClusterAverageScattered) {
+  // Eq. 13: every member of a cluster receives the *average* member
+  // gradient, i.e. mean_i(dy_i) * W^T.
+  auto families = BlockLshFamilies::Create(4, 0, 16, 4);
+  ASSERT_TRUE(families.ok());
+  Rng rng(4);
+  Tensor row = Tensor::RandomGaussian(Shape({4}), &rng);
+  Tensor x(Shape({3, 4}));
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) x.at(i, j) = row.at(j);
+  }
+  Tensor w = Tensor::RandomGaussian(Shape({4, 2}), &rng);
+  Tensor dy = Tensor::RandomGaussian(Shape({3, 2}), &rng);
+
+  const ReuseClustering clustering =
+      ClusterSubVectors(*families, x.data(), 3, 3);
+  ASSERT_EQ(clustering.TotalClusters(), 1);
+  const BackwardReuseResult reuse = ReuseBackward(clustering, w, dy);
+
+  // Expected: dy_avg * W^T for every row.
+  Tensor dy_avg(Shape({1, 2}));
+  for (int64_t j = 0; j < 2; ++j) {
+    dy_avg.at(0, j) = (dy.at(0, j) + dy.at(1, j) + dy.at(2, j)) / 3.0f;
+  }
+  Tensor expected_row(Shape({1, 4}));
+  GemmTransB(dy_avg.data(), w.data(), expected_row.data(), 1, 2, 4);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(reuse.grad_x.at(i, j), expected_row.at(0, j), 1e-5f);
+    }
+  }
+}
+
+TEST(ReuseBackwardTest, SubVectorBlocksFillDisjointColumnRanges) {
+  auto families = BlockLshFamilies::Create(8, 4, 60, 5);
+  ASSERT_TRUE(families.ok());
+  Rng rng(5);
+  Tensor x = Tensor::RandomGaussian(Shape({6, 8}), &rng);
+  Tensor w = Tensor::RandomGaussian(Shape({8, 3}), &rng);
+  Tensor dy = Tensor::RandomGaussian(Shape({6, 3}), &rng);
+  const ReuseClustering clustering =
+      ClusterSubVectors(*families, x.data(), 6, 6);
+  // Singleton limit per block (60 hashes): exact again, and the two column
+  // blocks of dW/dx must combine to the dense result.
+  if (clustering.blocks[0].clustering.num_clusters() == 6 &&
+      clustering.blocks[1].clustering.num_clusters() == 6) {
+    const BackwardReuseResult reuse = ReuseBackward(clustering, w, dy);
+    const DenseBackward exact = ExactBackward(x, w, dy);
+    EXPECT_TRUE(AllClose(reuse.grad_weight, exact.grad_weight, 1e-4f, 1e-5f));
+    EXPECT_TRUE(AllClose(reuse.grad_x, exact.grad_x, 1e-4f, 1e-5f));
+  }
+}
+
+TEST(ReuseBackwardTest, MacAccounting) {
+  auto families = BlockLshFamilies::Create(8, 4, 8, 6);
+  ASSERT_TRUE(families.ok());
+  Rng rng(6);
+  Tensor x = Tensor::RandomGaussian(Shape({16, 8}), &rng);
+  Tensor w = Tensor::RandomGaussian(Shape({8, 5}), &rng);
+  Tensor dy = Tensor::RandomGaussian(Shape({16, 5}), &rng);
+  const ReuseClustering clustering =
+      ClusterSubVectors(*families, x.data(), 16, 16);
+  const BackwardReuseResult reuse = ReuseBackward(clustering, w, dy);
+  EXPECT_DOUBLE_EQ(reuse.stats.macs_baseline, 2.0 * 16 * 8 * 5);
+  EXPECT_GT(reuse.stats.macs, 0.0);
+  EXPECT_LE(reuse.stats.macs, reuse.stats.macs_baseline);
+}
+
+TEST(ReuseBackwardTest, CoarseClusteringStillDescends) {
+  // Even with very coarse clustering (H=1) the approximate gradient should
+  // be positively correlated with the exact gradient — the property that
+  // lets early-stage training tolerate aggressive reuse.
+  auto families = BlockLshFamilies::Create(8, 0, 1, 7);
+  ASSERT_TRUE(families.ok());
+  Rng rng(7);
+  // Correlated rows so clusters are meaningful.
+  Tensor proto = Tensor::RandomGaussian(Shape({8}), &rng);
+  Tensor x(Shape({32, 8}));
+  for (int64_t i = 0; i < 32; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      x.at(i, j) = proto.at(j) + 0.1f * rng.NextGaussian();
+    }
+  }
+  Tensor w = Tensor::RandomGaussian(Shape({8, 4}), &rng);
+  Tensor dy = Tensor::RandomGaussian(Shape({32, 4}), &rng);
+  const ReuseClustering clustering =
+      ClusterSubVectors(*families, x.data(), 32, 32);
+  const BackwardReuseResult reuse = ReuseBackward(clustering, w, dy);
+  const DenseBackward exact = ExactBackward(x, w, dy);
+  double dot = 0.0;
+  for (int64_t i = 0; i < exact.grad_weight.num_elements(); ++i) {
+    dot += static_cast<double>(reuse.grad_weight.at(i)) *
+           exact.grad_weight.at(i);
+  }
+  EXPECT_GT(dot, 0.0);
+}
+
+}  // namespace
+}  // namespace adr

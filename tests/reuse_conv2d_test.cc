@@ -1,0 +1,215 @@
+// Tests for the ReuseConv2d layer: agreement with Conv2d in the exact
+// limits, reconfiguration, cluster-reuse cache lifecycle and telemetry.
+
+#include <gtest/gtest.h>
+
+#include "core/reuse_conv2d.h"
+#include "nn/conv2d.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+Conv2dConfig SmallConv() {
+  Conv2dConfig config;
+  config.in_channels = 2;
+  config.out_channels = 4;
+  config.kernel = 3;
+  config.stride = 1;
+  config.pad = 1;
+  config.in_height = 6;
+  config.in_width = 6;
+  return config;
+}
+
+ReuseConfig PreciseReuse() {
+  ReuseConfig reuse;
+  reuse.sub_vector_length = 0;
+  reuse.num_hashes = 96;  // near-singleton clustering
+  return reuse;
+}
+
+TEST(ReuseConv2dTest, MatchesConv2dWithPreciseClustering) {
+  Rng rng1(1), rng2(1);
+  Conv2d baseline("conv", SmallConv(), &rng1);
+  ReuseConv2d reuse("conv_r", SmallConv(), PreciseReuse(), &rng2);
+  // Same rng seed => same He init, but copy anyway for robustness.
+  reuse.CopyWeightsFrom(baseline);
+
+  Rng data_rng(2);
+  Tensor in = Tensor::RandomGaussian(Shape({2, 2, 6, 6}), &data_rng);
+  Tensor expected = baseline.Forward(in, false);
+  Tensor actual = reuse.Forward(in, false);
+  EXPECT_EQ(actual.shape(), expected.shape());
+  EXPECT_LT(MaxAbsDiff(actual, expected), 1e-3f);
+}
+
+TEST(ReuseConv2dTest, BackwardMatchesConv2dInSingletonLimit) {
+  Rng rng1(3), rng2(3);
+  Conv2d baseline("conv", SmallConv(), &rng1);
+  ReuseConv2d reuse("conv_r", SmallConv(), PreciseReuse(), &rng2);
+  reuse.CopyWeightsFrom(baseline);
+
+  Rng data_rng(4);
+  Tensor in = Tensor::RandomGaussian(Shape({1, 2, 6, 6}), &data_rng);
+  Tensor grad_out = Tensor::RandomGaussian(Shape({1, 4, 6, 6}), &data_rng);
+
+  baseline.Forward(in, true);
+  Tensor exact_gin = baseline.Backward(grad_out);
+  reuse.Forward(in, true);
+  Tensor reuse_gin = reuse.Backward(grad_out);
+
+  // In the singleton limit the reuse backward is the exact backward.
+  EXPECT_LT(MaxAbsDiff(reuse_gin, exact_gin), 5e-3f);
+  EXPECT_LT(MaxAbsDiff(*reuse.Gradients()[0], *baseline.Gradients()[0]),
+            5e-3f);
+  EXPECT_LT(MaxAbsDiff(*reuse.Gradients()[1], *baseline.Gradients()[1]),
+            1e-4f);
+}
+
+TEST(ReuseConv2dTest, ExactBackwardFlagMatchesConv2dAlways) {
+  // Even with coarse clustering, exact_backward must reproduce Conv2d's
+  // gradients (the forward output still differs — only backward is exact).
+  ReuseConfig coarse;
+  coarse.sub_vector_length = 6;
+  coarse.num_hashes = 3;
+  Rng rng1(5), rng2(5);
+  Conv2d baseline("conv", SmallConv(), &rng1);
+  ReuseConv2d reuse("conv_r", SmallConv(), coarse, &rng2);
+  reuse.CopyWeightsFrom(baseline);
+  reuse.set_exact_backward(true);
+  EXPECT_TRUE(reuse.exact_backward());
+
+  Rng data_rng(6);
+  Tensor in = Tensor::RandomGaussian(Shape({2, 2, 6, 6}), &data_rng);
+  Tensor grad_out = Tensor::RandomGaussian(Shape({2, 4, 6, 6}), &data_rng);
+  baseline.Forward(in, true);
+  Tensor exact_gin = baseline.Backward(grad_out);
+  reuse.Forward(in, true);
+  Tensor reuse_gin = reuse.Backward(grad_out);
+  EXPECT_LT(MaxAbsDiff(reuse_gin, exact_gin), 1e-4f);
+  EXPECT_LT(MaxAbsDiff(*reuse.Gradients()[0], *baseline.Gradients()[0]),
+            1e-4f);
+}
+
+TEST(ReuseConv2dTest, SetReuseConfigValidates) {
+  Rng rng(7);
+  ReuseConv2d layer("conv", SmallConv(), PreciseReuse(), &rng);
+  ReuseConfig bad;
+  bad.sub_vector_length = 1000;  // > K = 18
+  EXPECT_FALSE(layer.SetReuseConfig(bad).ok());
+  bad = PreciseReuse();
+  bad.num_hashes = 0;
+  EXPECT_FALSE(layer.SetReuseConfig(bad).ok());
+  ReuseConfig good;
+  good.sub_vector_length = 9;
+  good.num_hashes = 10;
+  EXPECT_TRUE(layer.SetReuseConfig(good).ok());
+  EXPECT_EQ(layer.reuse_config().sub_vector_length, 9);
+}
+
+TEST(ReuseConv2dTest, ConfigChangeTakesEffect) {
+  Rng rng(8);
+  ReuseConv2d layer("conv", SmallConv(), PreciseReuse(), &rng);
+  Rng data_rng(9);
+  Tensor in = Tensor::RandomGaussian(Shape({1, 2, 6, 6}), &data_rng);
+  layer.Forward(in, true);
+  const double precise_rc = layer.stats().avg_remaining_ratio;
+
+  ReuseConfig coarse;
+  coarse.sub_vector_length = 0;
+  coarse.num_hashes = 2;
+  ASSERT_TRUE(layer.SetReuseConfig(coarse).ok());
+  layer.ResetStats();
+  layer.Forward(in, true);
+  EXPECT_LT(layer.stats().avg_remaining_ratio, precise_rc);
+}
+
+TEST(ReuseConv2dTest, ClusterReuseCacheAcrossBatches) {
+  ReuseConfig cr;
+  cr.sub_vector_length = 6;
+  cr.num_hashes = 8;
+  cr.cluster_reuse = true;
+  Rng rng(10);
+  ReuseConv2d layer("conv", SmallConv(), cr, &rng);
+  ASSERT_NE(layer.cache(), nullptr);
+
+  Rng data_rng(11);
+  Tensor in = Tensor::RandomGaussian(Shape({1, 2, 6, 6}), &data_rng);
+  layer.Forward(in, true);
+  EXPECT_DOUBLE_EQ(layer.stats().last_batch_reuse_rate, 0.0);
+  layer.Forward(in, true);  // identical batch: full reuse
+  EXPECT_DOUBLE_EQ(layer.stats().last_batch_reuse_rate, 1.0);
+  layer.ClearCache();
+  layer.Forward(in, true);
+  EXPECT_DOUBLE_EQ(layer.stats().last_batch_reuse_rate, 0.0);
+}
+
+TEST(ReuseConv2dTest, DisablingClusterReuseDropsCache) {
+  ReuseConfig cr;
+  cr.num_hashes = 8;
+  cr.cluster_reuse = true;
+  Rng rng(12);
+  ReuseConv2d layer("conv", SmallConv(), cr, &rng);
+  EXPECT_NE(layer.cache(), nullptr);
+  ReuseConfig off = cr;
+  off.cluster_reuse = false;
+  ASSERT_TRUE(layer.SetReuseConfig(off).ok());
+  EXPECT_EQ(layer.cache(), nullptr);
+}
+
+TEST(ReuseConv2dTest, SingleInputScopeRuns) {
+  ReuseConfig scope;
+  scope.num_hashes = 8;
+  scope.scope = ClusterScope::kSingleInput;
+  Rng rng(13);
+  ReuseConv2d layer("conv", SmallConv(), scope, &rng);
+  Rng data_rng(14);
+  Tensor in = Tensor::RandomGaussian(Shape({3, 2, 6, 6}), &data_rng);
+  Tensor out = layer.Forward(in, true);
+  EXPECT_EQ(out.shape(), Shape({3, 4, 6, 6}));
+}
+
+TEST(ReuseConv2dTest, StatsAccumulateAndReset) {
+  Rng rng(15);
+  ReuseConv2d layer("conv", SmallConv(), PreciseReuse(), &rng);
+  Rng data_rng(16);
+  Tensor in = Tensor::RandomGaussian(Shape({1, 2, 6, 6}), &data_rng);
+  layer.Forward(in, true);
+  layer.Forward(in, true);
+  EXPECT_EQ(layer.stats().forward_calls, 2);
+  EXPECT_GT(layer.stats().macs_baseline, 0.0);
+  EXPECT_GT(layer.stats().macs_executed, 0.0);
+  layer.ResetStats();
+  EXPECT_EQ(layer.stats().forward_calls, 0);
+  EXPECT_EQ(layer.stats().macs_baseline, 0.0);
+}
+
+TEST(ReuseConv2dTest, CoarseClusteringSavesMacs) {
+  ReuseConfig coarse;
+  coarse.sub_vector_length = 6;
+  coarse.num_hashes = 4;
+  Rng rng(17);
+  ReuseConv2d layer("conv", SmallConv(), coarse, &rng);
+  Rng data_rng(18);
+  // Smooth input => heavy clustering.
+  Tensor in(Shape({2, 2, 6, 6}));
+  for (int64_t i = 0; i < in.num_elements(); ++i) {
+    in.at(i) = static_cast<float>(i % 7) * 0.1f;
+  }
+  layer.Forward(in, true);
+  Tensor grad = Tensor::Ones(Shape({2, 4, 6, 6}));
+  layer.Backward(grad);
+  EXPECT_GT(layer.stats().MacsSavedFraction(), 0.0);
+}
+
+TEST(ReuseConv2dTest, ForwardMacsMatchesConv2d) {
+  Rng rng1(19), rng2(19);
+  Conv2d baseline("conv", SmallConv(), &rng1);
+  ReuseConv2d reuse("conv_r", SmallConv(), PreciseReuse(), &rng2);
+  EXPECT_DOUBLE_EQ(reuse.ForwardMacs(4), baseline.ForwardMacs(4));
+}
+
+}  // namespace
+}  // namespace adr

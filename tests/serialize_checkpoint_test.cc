@@ -1,0 +1,211 @@
+// Tests for binary serialization and network checkpointing.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "models/models.h"
+#include "nn/checkpoint.h"
+#include "nn/dense.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace adr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(BinarySerializeTest, RoundTripsScalars) {
+  const std::string path = TempPath("scalars.bin");
+  BinaryWriter writer;
+  ASSERT_TRUE(BinaryWriter::Open(path, &writer).ok());
+  ASSERT_TRUE(writer.WriteU32(0xdeadbeef).ok());
+  ASSERT_TRUE(writer.WriteU64(1ULL << 50).ok());
+  ASSERT_TRUE(writer.WriteI64(-42).ok());
+  ASSERT_TRUE(writer.WriteDouble(3.25).ok());
+  ASSERT_TRUE(writer.WriteString("hello").ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  BinaryReader reader;
+  ASSERT_TRUE(BinaryReader::Open(path, &reader).ok());
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0.0;
+  std::string s;
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d).ok());
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  EXPECT_EQ(u32, 0xdeadbeef);
+  EXPECT_EQ(u64, 1ULL << 50);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(reader.AtEof());
+  std::remove(path.c_str());
+}
+
+TEST(BinarySerializeTest, RoundTripsFloatArray) {
+  const std::string path = TempPath("floats.bin");
+  const std::vector<float> values = {1.5f, -2.25f, 0.0f, 1e-20f};
+  BinaryWriter writer;
+  ASSERT_TRUE(BinaryWriter::Open(path, &writer).ok());
+  ASSERT_TRUE(writer.WriteFloats(values.data(), values.size()).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  BinaryReader reader;
+  ASSERT_TRUE(BinaryReader::Open(path, &reader).ok());
+  std::vector<float> read(values.size());
+  ASSERT_TRUE(reader.ReadFloats(read.data(), read.size()).ok());
+  EXPECT_EQ(read, values);
+  std::remove(path.c_str());
+}
+
+TEST(BinarySerializeTest, ReadPastEndFails) {
+  const std::string path = TempPath("short.bin");
+  BinaryWriter writer;
+  ASSERT_TRUE(BinaryWriter::Open(path, &writer).ok());
+  ASSERT_TRUE(writer.WriteU32(7).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  BinaryReader reader;
+  ASSERT_TRUE(BinaryReader::Open(path, &reader).ok());
+  uint64_t too_big = 0;
+  EXPECT_EQ(reader.ReadU64(&too_big).code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(BinarySerializeTest, StringLengthGuard) {
+  const std::string path = TempPath("longstr.bin");
+  BinaryWriter writer;
+  ASSERT_TRUE(BinaryWriter::Open(path, &writer).ok());
+  ASSERT_TRUE(writer.WriteString(std::string(100, 'x')).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  BinaryReader reader;
+  ASSERT_TRUE(BinaryReader::Open(path, &reader).ok());
+  std::string s;
+  EXPECT_EQ(reader.ReadString(&s, /*max_length=*/10).code(),
+            StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(BinarySerializeTest, FloatCountMismatchFails) {
+  const std::string path = TempPath("count.bin");
+  const float values[3] = {1, 2, 3};
+  BinaryWriter writer;
+  ASSERT_TRUE(BinaryWriter::Open(path, &writer).ok());
+  ASSERT_TRUE(writer.WriteFloats(values, 3).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  BinaryReader reader;
+  ASSERT_TRUE(BinaryReader::Open(path, &reader).ok());
+  float out[4];
+  EXPECT_EQ(reader.ReadFloats(out, 4).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(BinarySerializeTest, MissingFileReportsNotFound) {
+  BinaryReader reader;
+  EXPECT_EQ(BinaryReader::Open("/no/such/file.bin", &reader).code(),
+            StatusCode::kNotFound);
+  BinaryWriter writer;
+  EXPECT_EQ(BinaryWriter::Open("/no/such/dir/file.bin", &writer).code(),
+            StatusCode::kNotFound);
+}
+
+ModelOptions TinyModel() {
+  ModelOptions options;
+  options.num_classes = 4;
+  options.input_size = 16;
+  options.width = 0.125;
+  options.fc_width = 0.05;
+  return options;
+}
+
+TEST(CheckpointTest, SaveLoadRoundTripRestoresOutputs) {
+  const std::string path = TempPath("model.ckpt");
+  auto original = BuildCifarNet(TinyModel());
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(SaveCheckpoint(original->network, path).ok());
+
+  ModelOptions other_options = TinyModel();
+  other_options.seed = 999;  // different init
+  auto restored = BuildCifarNet(other_options);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(LoadCheckpoint(path, &restored->network).ok());
+
+  Rng rng(5);
+  Tensor in = Tensor::RandomGaussian(Shape({2, 3, 16, 16}), &rng);
+  Tensor expected = original->network.Forward(in, false);
+  Tensor actual = restored->network.Forward(in, false);
+  EXPECT_EQ(MaxAbsDiff(actual, expected), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadIntoReuseTwinWorks) {
+  // Checkpoints are architecture-keyed by parameter shapes, so a baseline
+  // checkpoint loads into a reuse-mode model of the same geometry.
+  const std::string path = TempPath("model_reuse.ckpt");
+  auto baseline = BuildCifarNet(TinyModel());
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(SaveCheckpoint(baseline->network, path).ok());
+
+  ModelOptions reuse_options = TinyModel();
+  reuse_options.use_reuse = true;
+  reuse_options.reuse.enabled = false;
+  auto reuse = BuildCifarNet(reuse_options);
+  ASSERT_TRUE(reuse.ok());
+  ASSERT_TRUE(LoadCheckpoint(path, &reuse->network).ok());
+
+  Rng rng(6);
+  Tensor in = Tensor::RandomGaussian(Shape({1, 3, 16, 16}), &rng);
+  EXPECT_LT(MaxAbsDiff(reuse->network.Forward(in, false),
+                       baseline->network.Forward(in, false)),
+            1e-5f);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsMismatchedArchitecture) {
+  const std::string path = TempPath("mismatch.ckpt");
+  auto small = BuildCifarNet(TinyModel());
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(SaveCheckpoint(small->network, path).ok());
+
+  ModelOptions bigger = TinyModel();
+  bigger.width = 0.25;
+  auto big = BuildCifarNet(bigger);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(LoadCheckpoint(path, &big->network).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsGarbageFile) {
+  const std::string path = TempPath("garbage.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint at all";
+  }
+  auto model = BuildCifarNet(TinyModel());
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(LoadCheckpoint(path, &model->network).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsMissingFile) {
+  auto model = BuildCifarNet(TinyModel());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(LoadCheckpoint("/no/such/checkpoint.ckpt", &model->network)
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,105 @@
+// Tests for the similarity-study library API.
+
+#include <gtest/gtest.h>
+
+#include "core/similarity_study.h"
+#include "data/synthetic_images.h"
+
+namespace adr {
+namespace {
+
+struct Fixture {
+  SyntheticImageDataset dataset;
+  Model dense;
+  ModelOptions options;
+};
+
+Fixture MakeFixture() {
+  SyntheticImageConfig data_config;
+  data_config.num_classes = 4;
+  data_config.num_samples = 96;
+  data_config.height = 8;
+  data_config.width = 8;
+  data_config.seed = 77;
+  ModelOptions options;
+  options.num_classes = 4;
+  options.input_size = 8;
+  options.width = 0.125;
+  options.fc_width = 0.05;
+  return Fixture{*SyntheticImageDataset::Create(data_config),
+                 BuildCifarNet(options).ValueOrDie(), options};
+}
+
+TEST(SimilarityStudyTest, LshStudyCoversGrid) {
+  Fixture fixture = MakeFixture();
+  SimilarityStudyOptions options;
+  options.layer_index = 1;
+  options.batch_size = 8;
+  options.eval_samples = 32;
+  auto points = LshSimilarityStudy(fixture.dense, fixture.options,
+                                   fixture.dataset, options, {0, 25},
+                                   {4, 16});
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 4u);
+  for (const SimilarityPoint& point : *points) {
+    EXPECT_GT(point.remaining_ratio, 0.0);
+    EXPECT_LE(point.remaining_ratio, 1.0);
+    EXPECT_GE(point.accuracy, 0.0);
+    EXPECT_LE(point.accuracy, 1.0);
+  }
+  // More hashes => more clusters (within each L).
+  EXPECT_GE((*points)[1].remaining_ratio, (*points)[0].remaining_ratio);
+  EXPECT_GE((*points)[3].remaining_ratio, (*points)[2].remaining_ratio);
+}
+
+TEST(SimilarityStudyTest, LshStudyValidatesInputs) {
+  Fixture fixture = MakeFixture();
+  SimilarityStudyOptions options;
+  EXPECT_FALSE(LshSimilarityStudy(fixture.dense, fixture.options,
+                                  fixture.dataset, options, {}, {4})
+                   .ok());
+  options.layer_index = 99;
+  EXPECT_FALSE(LshSimilarityStudy(fixture.dense, fixture.options,
+                                  fixture.dataset, options, {0}, {4})
+                   .ok());
+}
+
+TEST(SimilarityStudyTest, KMeansStudyRemainingRatioTracksClusters) {
+  Fixture fixture = MakeFixture();
+  SimilarityStudyOptions options;
+  options.layer_index = 0;
+  options.batch_size = 8;
+  options.eval_samples = 32;
+  auto points = KMeansSimilarityStudy(fixture.dense, fixture.options,
+                                      fixture.dataset, options,
+                                      ClusterScope::kSingleBatch, {2, 32});
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 2u);
+  // conv1 at 8x8: N = 8*64 = 512 rows per batch.
+  EXPECT_NEAR((*points)[0].remaining_ratio, 2.0 / 512.0, 1e-9);
+  EXPECT_NEAR((*points)[1].remaining_ratio, 32.0 / 512.0, 1e-9);
+  EXPECT_GT((*points)[0].macs_saved, 0.5);
+}
+
+TEST(SimilarityStudyTest, KMeansScopeChangesPoolSize) {
+  Fixture fixture = MakeFixture();
+  SimilarityStudyOptions options;
+  options.layer_index = 0;
+  options.batch_size = 8;
+  options.eval_samples = 32;
+  auto input_scope = KMeansSimilarityStudy(
+      fixture.dense, fixture.options, fixture.dataset, options,
+      ClusterScope::kSingleInput, {4});
+  auto batch_scope = KMeansSimilarityStudy(
+      fixture.dense, fixture.options, fixture.dataset, options,
+      ClusterScope::kSingleBatch, {4});
+  ASSERT_TRUE(input_scope.ok());
+  ASSERT_TRUE(batch_scope.ok());
+  // Per-image clustering yields 4 clusters per image (8 images) vs 4 per
+  // batch: the single-input r_c is 8x larger.
+  EXPECT_NEAR((*input_scope)[0].remaining_ratio,
+              8.0 * (*batch_scope)[0].remaining_ratio, 1e-9);
+}
+
+}  // namespace
+}  // namespace adr

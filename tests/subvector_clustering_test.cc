@@ -1,0 +1,198 @@
+// Tests for ReuseConfig, BlockLshFamilies and ClusterSubVectors.
+
+#include <gtest/gtest.h>
+
+#include "core/reuse_config.h"
+#include "core/subvector_clustering.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+TEST(ReuseConfigTest, EffectiveLength) {
+  ReuseConfig config;
+  config.sub_vector_length = 0;
+  EXPECT_EQ(config.EffectiveLength(100), 100);
+  config.sub_vector_length = 25;
+  EXPECT_EQ(config.EffectiveLength(100), 25);
+  config.sub_vector_length = 200;
+  EXPECT_EQ(config.EffectiveLength(100), 100);
+}
+
+TEST(ReuseConfigTest, Validation) {
+  ReuseConfig config;
+  EXPECT_TRUE(config.Validate(100).ok());
+  config.sub_vector_length = -1;
+  EXPECT_FALSE(config.Validate(100).ok());
+  config.sub_vector_length = 101;
+  EXPECT_FALSE(config.Validate(100).ok());
+  config.sub_vector_length = 10;
+  config.num_hashes = 0;
+  EXPECT_FALSE(config.Validate(100).ok());
+  config.num_hashes = kMaxLshHashes + 1;
+  EXPECT_FALSE(config.Validate(100).ok());
+  config.num_hashes = 8;
+  EXPECT_TRUE(config.Validate(100).ok());
+  EXPECT_FALSE(config.Validate(0).ok());
+}
+
+TEST(ReuseConfigTest, ClusterReuseImpliedByScope) {
+  ReuseConfig config;
+  EXPECT_FALSE(config.ClusterReuseEnabled());
+  config.scope = ClusterScope::kAcrossBatch;
+  EXPECT_TRUE(config.ClusterReuseEnabled());
+  config.scope = ClusterScope::kSingleBatch;
+  config.cluster_reuse = true;
+  EXPECT_TRUE(config.ClusterReuseEnabled());
+}
+
+TEST(ReuseConfigTest, ToStringMentionsEverything) {
+  ReuseConfig config;
+  config.sub_vector_length = 8;
+  config.num_hashes = 10;
+  const std::string s = config.ToString();
+  EXPECT_NE(s.find("L=8"), std::string::npos);
+  EXPECT_NE(s.find("H=10"), std::string::npos);
+  EXPECT_NE(s.find("CR=0"), std::string::npos);
+  EXPECT_NE(s.find("single-batch"), std::string::npos);
+}
+
+TEST(BlockLshFamiliesTest, EvenSplit) {
+  auto families = BlockLshFamilies::Create(12, 4, 8, 1);
+  ASSERT_TRUE(families.ok());
+  EXPECT_EQ(families->num_blocks(), 3);
+  for (int64_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(families->block_offset(b), b * 4);
+    EXPECT_EQ(families->block_length(b), 4);
+    EXPECT_EQ(families->family(b).dim(), 4);
+  }
+}
+
+TEST(BlockLshFamiliesTest, RaggedTailBlock) {
+  auto families = BlockLshFamilies::Create(10, 4, 8, 1);
+  ASSERT_TRUE(families.ok());
+  EXPECT_EQ(families->num_blocks(), 3);
+  EXPECT_EQ(families->block_length(2), 2);
+}
+
+TEST(BlockLshFamiliesTest, WholeRowWhenLZero) {
+  auto families = BlockLshFamilies::Create(10, 0, 8, 1);
+  ASSERT_TRUE(families.ok());
+  EXPECT_EQ(families->num_blocks(), 1);
+  EXPECT_EQ(families->block_length(0), 10);
+}
+
+TEST(BlockLshFamiliesTest, BlocksUseDistinctHyperplanes) {
+  auto families = BlockLshFamilies::Create(8, 4, 16, 1);
+  ASSERT_TRUE(families.ok());
+  // Hash the same 4-vector through both blocks; with independent
+  // hyperplanes, the signatures should differ with high probability.
+  Rng rng(1);
+  Tensor v = Tensor::RandomGaussian(Shape({4}), &rng);
+  EXPECT_FALSE(families->family(0).Hash(v.data()) ==
+               families->family(1).Hash(v.data()));
+}
+
+TEST(ClusterSubVectorsTest, DuplicateRowsShareClusters) {
+  auto families = BlockLshFamilies::Create(6, 3, 12, 2);
+  ASSERT_TRUE(families.ok());
+  Rng rng(2);
+  Tensor base = Tensor::RandomGaussian(Shape({1, 6}), &rng);
+  Tensor x(Shape({4, 6}));
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 6; ++j) x.at(i, j) = base.at(0, j);
+  }
+  const ReuseClustering result =
+      ClusterSubVectors(*families, x.data(), 4, 4);
+  ASSERT_EQ(result.blocks.size(), 2u);
+  for (const auto& block : result.blocks) {
+    EXPECT_EQ(block.clustering.num_clusters(), 1);
+    EXPECT_EQ(block.clustering.cluster_sizes[0], 4);
+    // Centroid of identical rows equals the row.
+    for (int64_t j = 0; j < block.length; ++j) {
+      EXPECT_NEAR(block.centroids.at(0, j),
+                  base.at(0, block.col_offset + j), 1e-5f);
+    }
+  }
+  EXPECT_DOUBLE_EQ(result.AverageRemainingRatio(), 0.25);
+  EXPECT_EQ(result.TotalClusters(), 2);
+}
+
+TEST(ClusterSubVectorsTest, RandomRowsMostlySeparate) {
+  auto families = BlockLshFamilies::Create(16, 16, 32, 3);
+  ASSERT_TRUE(families.ok());
+  Rng rng(3);
+  Tensor x = Tensor::RandomGaussian(Shape({64, 16}), &rng);
+  const ReuseClustering result =
+      ClusterSubVectors(*families, x.data(), 64, 64);
+  // 32 hyperplanes over random gaussian rows: collisions are rare.
+  EXPECT_GT(result.blocks[0].clustering.num_clusters(), 55);
+}
+
+TEST(ClusterSubVectorsTest, FewerHashesCoarserClustering) {
+  Rng rng(4);
+  Tensor x = Tensor::RandomGaussian(Shape({128, 8}), &rng);
+  auto fine = BlockLshFamilies::Create(8, 8, 24, 5);
+  auto coarse = BlockLshFamilies::Create(8, 8, 2, 5);
+  ASSERT_TRUE(fine.ok());
+  ASSERT_TRUE(coarse.ok());
+  const auto fine_result = ClusterSubVectors(*fine, x.data(), 128, 128);
+  const auto coarse_result = ClusterSubVectors(*coarse, x.data(), 128, 128);
+  EXPECT_LT(coarse_result.TotalClusters(), fine_result.TotalClusters());
+  // With H=2 there can be at most 4 signatures.
+  EXPECT_LE(coarse_result.blocks[0].clustering.num_clusters(), 4);
+}
+
+TEST(ClusterSubVectorsTest, GroupsNeverShareClusters) {
+  // Single-input scope: identical rows in different groups must land in
+  // different clusters.
+  auto families = BlockLshFamilies::Create(4, 4, 8, 6);
+  ASSERT_TRUE(families.ok());
+  Rng rng(5);
+  Tensor row = Tensor::RandomGaussian(Shape({4}), &rng);
+  Tensor x(Shape({4, 4}));
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) x.at(i, j) = row.at(j);
+  }
+  const ReuseClustering grouped =
+      ClusterSubVectors(*families, x.data(), 4, /*rows_per_group=*/2);
+  const auto& c = grouped.blocks[0].clustering;
+  EXPECT_EQ(c.num_clusters(), 2);
+  EXPECT_EQ(c.assignment[0], c.assignment[1]);
+  EXPECT_EQ(c.assignment[2], c.assignment[3]);
+  EXPECT_NE(c.assignment[0], c.assignment[2]);
+}
+
+TEST(ClusterSubVectorsTest, SignaturesAlignWithClusters) {
+  auto families = BlockLshFamilies::Create(8, 8, 16, 7);
+  ASSERT_TRUE(families.ok());
+  Rng rng(6);
+  Tensor x = Tensor::RandomGaussian(Shape({32, 8}), &rng);
+  const ReuseClustering result =
+      ClusterSubVectors(*families, x.data(), 32, 32);
+  const auto& block = result.blocks[0];
+  ASSERT_EQ(static_cast<int64_t>(block.signatures.size()),
+            block.clustering.num_clusters());
+  // Re-hashing any row must reproduce its cluster's stored signature.
+  for (int64_t i = 0; i < 32; ++i) {
+    const LshSignature sig = families->family(0).Hash(x.data() + i * 8);
+    const int32_t cluster = block.clustering.assignment[static_cast<size_t>(i)];
+    EXPECT_EQ(sig, block.signatures[static_cast<size_t>(cluster)]);
+  }
+}
+
+TEST(ClusterSubVectorsTest, RemainingRatioBounds) {
+  auto families = BlockLshFamilies::Create(8, 4, 10, 8);
+  ASSERT_TRUE(families.ok());
+  Rng rng(7);
+  Tensor x = Tensor::RandomGaussian(Shape({100, 8}), &rng);
+  const ReuseClustering result =
+      ClusterSubVectors(*families, x.data(), 100, 100);
+  const double rc = result.AverageRemainingRatio();
+  EXPECT_GT(rc, 0.0);
+  EXPECT_LE(rc, 1.0);
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,104 @@
+// Tests for the training-step and evaluation helpers.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_images.h"
+#include "models/models.h"
+#include "nn/dense.h"
+#include "nn/trainer.h"
+#include "tensor/tensor_ops.h"
+
+namespace adr {
+namespace {
+
+SyntheticImageDataset TinyDataset() {
+  SyntheticImageConfig config;
+  config.num_classes = 2;
+  config.num_samples = 64;
+  config.height = 8;
+  config.width = 8;
+  config.seed = 5;
+  return *SyntheticImageDataset::Create(config);
+}
+
+Model TinyModel() {
+  ModelOptions options;
+  options.num_classes = 2;
+  options.input_size = 8;
+  options.width = 0.0625;
+  options.fc_width = 0.02;
+  return BuildCifarNet(options).ValueOrDie();
+}
+
+TEST(TrainerTest, TrainStepReducesLossOnRepeatedBatch) {
+  const SyntheticImageDataset dataset = TinyDataset();
+  Model model = TinyModel();
+  const Batch batch = MakeBatch(dataset, 0, 16);
+  Adam optimizer(0.005f);
+  const StepResult first = TrainStep(&model.network, &optimizer, batch);
+  StepResult last = first;
+  for (int i = 0; i < 20; ++i) {
+    last = TrainStep(&model.network, &optimizer, batch);
+  }
+  EXPECT_LT(last.loss, first.loss);
+  EXPECT_GE(last.accuracy, first.accuracy);
+}
+
+TEST(TrainerTest, TrainStepUpdatesParameters) {
+  const SyntheticImageDataset dataset = TinyDataset();
+  Model model = TinyModel();
+  const Batch batch = MakeBatch(dataset, 0, 8);
+  // Snapshot a parameter.
+  Tensor before = *model.network.Parameters()[0];
+  Adam optimizer(0.01f);
+  TrainStep(&model.network, &optimizer, batch);
+  EXPECT_GT(MaxAbsDiff(*model.network.Parameters()[0], before), 0.0f);
+}
+
+TEST(TrainerTest, EvaluateBatchDoesNotUpdateParameters) {
+  const SyntheticImageDataset dataset = TinyDataset();
+  Model model = TinyModel();
+  const Batch batch = MakeBatch(dataset, 0, 8);
+  Tensor before = *model.network.Parameters()[0];
+  const StepResult result = EvaluateBatch(&model.network, batch);
+  EXPECT_EQ(MaxAbsDiff(*model.network.Parameters()[0], before), 0.0f);
+  EXPECT_GT(result.loss, 0.0);
+  EXPECT_GE(result.accuracy, 0.0);
+  EXPECT_LE(result.accuracy, 1.0);
+}
+
+TEST(TrainerTest, EvaluateAccuracyBounds) {
+  const SyntheticImageDataset dataset = TinyDataset();
+  Model model = TinyModel();
+  const double accuracy =
+      EvaluateAccuracy(&model.network, dataset, 16, 64);
+  EXPECT_GE(accuracy, 0.0);
+  EXPECT_LE(accuracy, 1.0);
+}
+
+TEST(TrainerTest, EvaluateAccuracyRespectsMaxSamples) {
+  const SyntheticImageDataset dataset = TinyDataset();
+  Model model = TinyModel();
+  // Only full batches are evaluated: 20 samples at batch 16 -> one batch.
+  const double subset = EvaluateAccuracy(&model.network, dataset, 16, 20);
+  const double one_batch = EvaluateAccuracy(&model.network, dataset, 16, 16);
+  EXPECT_EQ(subset, one_batch);
+}
+
+TEST(TrainerTest, EvaluateAccuracyDefaultsToWholeDataset) {
+  const SyntheticImageDataset dataset = TinyDataset();
+  Model model = TinyModel();
+  const double all = EvaluateAccuracy(&model.network, dataset, 16);
+  const double capped = EvaluateAccuracy(&model.network, dataset, 16, 64);
+  EXPECT_EQ(all, capped);  // dataset has exactly 64 samples
+}
+
+TEST(TrainerTest, DeterministicEvaluation) {
+  const SyntheticImageDataset dataset = TinyDataset();
+  Model model = TinyModel();
+  EXPECT_EQ(EvaluateAccuracy(&model.network, dataset, 16, 32),
+            EvaluateAccuracy(&model.network, dataset, 16, 32));
+}
+
+}  // namespace
+}  // namespace adr
