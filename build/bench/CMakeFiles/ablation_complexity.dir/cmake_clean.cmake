@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_complexity.dir/ablation_complexity.cc.o"
+  "CMakeFiles/ablation_complexity.dir/ablation_complexity.cc.o.d"
+  "ablation_complexity"
+  "ablation_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lsh_sweep.dir/fig8_lsh_sweep.cc.o"
+  "CMakeFiles/fig8_lsh_sweep.dir/fig8_lsh_sweep.cc.o.d"
+  "fig8_lsh_sweep"
+  "fig8_lsh_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lsh_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_reuse.dir/micro_reuse.cc.o"
+  "CMakeFiles/micro_reuse.dir/micro_reuse.cc.o.d"
+  "micro_reuse"
+  "micro_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

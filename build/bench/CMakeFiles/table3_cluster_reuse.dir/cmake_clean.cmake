@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cluster_reuse.dir/table3_cluster_reuse.cc.o"
+  "CMakeFiles/table3_cluster_reuse.dir/table3_cluster_reuse.cc.o.d"
+  "table3_cluster_reuse"
+  "table3_cluster_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cluster_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_training_savings.dir/table4_training_savings.cc.o"
+  "CMakeFiles/table4_training_savings.dir/table4_training_savings.cc.o.d"
+  "table4_training_savings"
+  "table4_training_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_training_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/checkpoint_reuse.cpp" "examples/CMakeFiles/checkpoint_reuse.dir/checkpoint_reuse.cpp.o" "gcc" "examples/CMakeFiles/checkpoint_reuse.dir/checkpoint_reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adr_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/adr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/adr_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

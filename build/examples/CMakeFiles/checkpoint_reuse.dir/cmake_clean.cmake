@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_reuse.dir/checkpoint_reuse.cpp.o"
+  "CMakeFiles/checkpoint_reuse.dir/checkpoint_reuse.cpp.o.d"
+  "checkpoint_reuse"
+  "checkpoint_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

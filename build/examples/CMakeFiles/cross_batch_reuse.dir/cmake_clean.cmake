@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_batch_reuse.dir/cross_batch_reuse.cpp.o"
+  "CMakeFiles/cross_batch_reuse.dir/cross_batch_reuse.cpp.o.d"
+  "cross_batch_reuse"
+  "cross_batch_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_batch_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_sweep.dir/inference_sweep.cpp.o"
+  "CMakeFiles/inference_sweep.dir/inference_sweep.cpp.o.d"
+  "inference_sweep"
+  "inference_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

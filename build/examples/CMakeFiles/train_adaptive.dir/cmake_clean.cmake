@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_adaptive.dir/train_adaptive.cpp.o"
+  "CMakeFiles/train_adaptive.dir/train_adaptive.cpp.o.d"
+  "train_adaptive"
+  "train_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

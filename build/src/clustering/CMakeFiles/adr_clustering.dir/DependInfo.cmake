@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/cluster_stats.cc" "src/clustering/CMakeFiles/adr_clustering.dir/cluster_stats.cc.o" "gcc" "src/clustering/CMakeFiles/adr_clustering.dir/cluster_stats.cc.o.d"
+  "/root/repo/src/clustering/clustering.cc" "src/clustering/CMakeFiles/adr_clustering.dir/clustering.cc.o" "gcc" "src/clustering/CMakeFiles/adr_clustering.dir/clustering.cc.o.d"
+  "/root/repo/src/clustering/exact_dedup.cc" "src/clustering/CMakeFiles/adr_clustering.dir/exact_dedup.cc.o" "gcc" "src/clustering/CMakeFiles/adr_clustering.dir/exact_dedup.cc.o.d"
+  "/root/repo/src/clustering/kmeans.cc" "src/clustering/CMakeFiles/adr_clustering.dir/kmeans.cc.o" "gcc" "src/clustering/CMakeFiles/adr_clustering.dir/kmeans.cc.o.d"
+  "/root/repo/src/clustering/lsh.cc" "src/clustering/CMakeFiles/adr_clustering.dir/lsh.cc.o" "gcc" "src/clustering/CMakeFiles/adr_clustering.dir/lsh.cc.o.d"
+  "/root/repo/src/clustering/normalize.cc" "src/clustering/CMakeFiles/adr_clustering.dir/normalize.cc.o" "gcc" "src/clustering/CMakeFiles/adr_clustering.dir/normalize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/adr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_clustering.dir/cluster_stats.cc.o"
+  "CMakeFiles/adr_clustering.dir/cluster_stats.cc.o.d"
+  "CMakeFiles/adr_clustering.dir/clustering.cc.o"
+  "CMakeFiles/adr_clustering.dir/clustering.cc.o.d"
+  "CMakeFiles/adr_clustering.dir/exact_dedup.cc.o"
+  "CMakeFiles/adr_clustering.dir/exact_dedup.cc.o.d"
+  "CMakeFiles/adr_clustering.dir/kmeans.cc.o"
+  "CMakeFiles/adr_clustering.dir/kmeans.cc.o.d"
+  "CMakeFiles/adr_clustering.dir/lsh.cc.o"
+  "CMakeFiles/adr_clustering.dir/lsh.cc.o.d"
+  "CMakeFiles/adr_clustering.dir/normalize.cc.o"
+  "CMakeFiles/adr_clustering.dir/normalize.cc.o.d"
+  "libadr_clustering.a"
+  "libadr_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_controller.cc" "src/core/CMakeFiles/adr_core.dir/adaptive_controller.cc.o" "gcc" "src/core/CMakeFiles/adr_core.dir/adaptive_controller.cc.o.d"
+  "/root/repo/src/core/clustered_matmul.cc" "src/core/CMakeFiles/adr_core.dir/clustered_matmul.cc.o" "gcc" "src/core/CMakeFiles/adr_core.dir/clustered_matmul.cc.o.d"
+  "/root/repo/src/core/complexity_model.cc" "src/core/CMakeFiles/adr_core.dir/complexity_model.cc.o" "gcc" "src/core/CMakeFiles/adr_core.dir/complexity_model.cc.o.d"
+  "/root/repo/src/core/parameter_schedule.cc" "src/core/CMakeFiles/adr_core.dir/parameter_schedule.cc.o" "gcc" "src/core/CMakeFiles/adr_core.dir/parameter_schedule.cc.o.d"
+  "/root/repo/src/core/reuse_backward.cc" "src/core/CMakeFiles/adr_core.dir/reuse_backward.cc.o" "gcc" "src/core/CMakeFiles/adr_core.dir/reuse_backward.cc.o.d"
+  "/root/repo/src/core/reuse_config.cc" "src/core/CMakeFiles/adr_core.dir/reuse_config.cc.o" "gcc" "src/core/CMakeFiles/adr_core.dir/reuse_config.cc.o.d"
+  "/root/repo/src/core/reuse_conv2d.cc" "src/core/CMakeFiles/adr_core.dir/reuse_conv2d.cc.o" "gcc" "src/core/CMakeFiles/adr_core.dir/reuse_conv2d.cc.o.d"
+  "/root/repo/src/core/reuse_report.cc" "src/core/CMakeFiles/adr_core.dir/reuse_report.cc.o" "gcc" "src/core/CMakeFiles/adr_core.dir/reuse_report.cc.o.d"
+  "/root/repo/src/core/subvector_clustering.cc" "src/core/CMakeFiles/adr_core.dir/subvector_clustering.cc.o" "gcc" "src/core/CMakeFiles/adr_core.dir/subvector_clustering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clustering/CMakeFiles/adr_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adr_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

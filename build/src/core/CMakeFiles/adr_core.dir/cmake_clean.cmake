@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_core.dir/adaptive_controller.cc.o"
+  "CMakeFiles/adr_core.dir/adaptive_controller.cc.o.d"
+  "CMakeFiles/adr_core.dir/clustered_matmul.cc.o"
+  "CMakeFiles/adr_core.dir/clustered_matmul.cc.o.d"
+  "CMakeFiles/adr_core.dir/complexity_model.cc.o"
+  "CMakeFiles/adr_core.dir/complexity_model.cc.o.d"
+  "CMakeFiles/adr_core.dir/parameter_schedule.cc.o"
+  "CMakeFiles/adr_core.dir/parameter_schedule.cc.o.d"
+  "CMakeFiles/adr_core.dir/reuse_backward.cc.o"
+  "CMakeFiles/adr_core.dir/reuse_backward.cc.o.d"
+  "CMakeFiles/adr_core.dir/reuse_config.cc.o"
+  "CMakeFiles/adr_core.dir/reuse_config.cc.o.d"
+  "CMakeFiles/adr_core.dir/reuse_conv2d.cc.o"
+  "CMakeFiles/adr_core.dir/reuse_conv2d.cc.o.d"
+  "CMakeFiles/adr_core.dir/reuse_report.cc.o"
+  "CMakeFiles/adr_core.dir/reuse_report.cc.o.d"
+  "CMakeFiles/adr_core.dir/subvector_clustering.cc.o"
+  "CMakeFiles/adr_core.dir/subvector_clustering.cc.o.d"
+  "libadr_core.a"
+  "libadr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

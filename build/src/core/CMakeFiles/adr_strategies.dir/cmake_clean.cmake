@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_strategies.dir/similarity_study.cc.o"
+  "CMakeFiles/adr_strategies.dir/similarity_study.cc.o.d"
+  "CMakeFiles/adr_strategies.dir/strategies.cc.o"
+  "CMakeFiles/adr_strategies.dir/strategies.cc.o.d"
+  "libadr_strategies.a"
+  "libadr_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

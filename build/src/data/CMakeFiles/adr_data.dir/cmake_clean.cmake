@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_data.dir/augment.cc.o"
+  "CMakeFiles/adr_data.dir/augment.cc.o.d"
+  "CMakeFiles/adr_data.dir/dataloader.cc.o"
+  "CMakeFiles/adr_data.dir/dataloader.cc.o.d"
+  "CMakeFiles/adr_data.dir/synthetic_images.cc.o"
+  "CMakeFiles/adr_data.dir/synthetic_images.cc.o.d"
+  "libadr_data.a"
+  "libadr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

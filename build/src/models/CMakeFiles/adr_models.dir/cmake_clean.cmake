@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_models.dir/models.cc.o"
+  "CMakeFiles/adr_models.dir/models.cc.o.d"
+  "libadr_models.a"
+  "libadr_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/adr_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/adr_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/adr_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/adr_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/adr_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/gradient_clip.cc" "src/nn/CMakeFiles/adr_nn.dir/gradient_clip.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/gradient_clip.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/adr_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/lr_schedule.cc" "src/nn/CMakeFiles/adr_nn.dir/lr_schedule.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/lr_schedule.cc.o.d"
+  "/root/repo/src/nn/metrics.cc" "src/nn/CMakeFiles/adr_nn.dir/metrics.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/metrics.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/adr_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/normalization.cc" "src/nn/CMakeFiles/adr_nn.dir/normalization.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/normalization.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/adr_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/nn/CMakeFiles/adr_nn.dir/pooling.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/pooling.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/adr_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/adr_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/adr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

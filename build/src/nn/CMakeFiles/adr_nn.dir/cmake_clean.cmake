@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_nn.dir/activations.cc.o"
+  "CMakeFiles/adr_nn.dir/activations.cc.o.d"
+  "CMakeFiles/adr_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/adr_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/adr_nn.dir/conv2d.cc.o"
+  "CMakeFiles/adr_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/adr_nn.dir/dense.cc.o"
+  "CMakeFiles/adr_nn.dir/dense.cc.o.d"
+  "CMakeFiles/adr_nn.dir/dropout.cc.o"
+  "CMakeFiles/adr_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/adr_nn.dir/gradient_clip.cc.o"
+  "CMakeFiles/adr_nn.dir/gradient_clip.cc.o.d"
+  "CMakeFiles/adr_nn.dir/loss.cc.o"
+  "CMakeFiles/adr_nn.dir/loss.cc.o.d"
+  "CMakeFiles/adr_nn.dir/lr_schedule.cc.o"
+  "CMakeFiles/adr_nn.dir/lr_schedule.cc.o.d"
+  "CMakeFiles/adr_nn.dir/metrics.cc.o"
+  "CMakeFiles/adr_nn.dir/metrics.cc.o.d"
+  "CMakeFiles/adr_nn.dir/network.cc.o"
+  "CMakeFiles/adr_nn.dir/network.cc.o.d"
+  "CMakeFiles/adr_nn.dir/normalization.cc.o"
+  "CMakeFiles/adr_nn.dir/normalization.cc.o.d"
+  "CMakeFiles/adr_nn.dir/optimizer.cc.o"
+  "CMakeFiles/adr_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/adr_nn.dir/pooling.cc.o"
+  "CMakeFiles/adr_nn.dir/pooling.cc.o.d"
+  "CMakeFiles/adr_nn.dir/trainer.cc.o"
+  "CMakeFiles/adr_nn.dir/trainer.cc.o.d"
+  "libadr_nn.a"
+  "libadr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

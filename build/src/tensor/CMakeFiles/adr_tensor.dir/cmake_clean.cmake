@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_tensor.dir/gemm.cc.o"
+  "CMakeFiles/adr_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/adr_tensor.dir/im2col.cc.o"
+  "CMakeFiles/adr_tensor.dir/im2col.cc.o.d"
+  "CMakeFiles/adr_tensor.dir/shape.cc.o"
+  "CMakeFiles/adr_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/adr_tensor.dir/tensor.cc.o"
+  "CMakeFiles/adr_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/adr_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/adr_tensor.dir/tensor_ops.cc.o.d"
+  "libadr_tensor.a"
+  "libadr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

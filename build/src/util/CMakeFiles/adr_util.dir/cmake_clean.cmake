@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_util.dir/csv_writer.cc.o"
+  "CMakeFiles/adr_util.dir/csv_writer.cc.o.d"
+  "CMakeFiles/adr_util.dir/flags.cc.o"
+  "CMakeFiles/adr_util.dir/flags.cc.o.d"
+  "CMakeFiles/adr_util.dir/logging.cc.o"
+  "CMakeFiles/adr_util.dir/logging.cc.o.d"
+  "CMakeFiles/adr_util.dir/rng.cc.o"
+  "CMakeFiles/adr_util.dir/rng.cc.o.d"
+  "CMakeFiles/adr_util.dir/serialize.cc.o"
+  "CMakeFiles/adr_util.dir/serialize.cc.o.d"
+  "CMakeFiles/adr_util.dir/status.cc.o"
+  "CMakeFiles/adr_util.dir/status.cc.o.d"
+  "CMakeFiles/adr_util.dir/string_util.cc.o"
+  "CMakeFiles/adr_util.dir/string_util.cc.o.d"
+  "libadr_util.a"
+  "libadr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_controller_test.dir/adaptive_controller_test.cc.o"
+  "CMakeFiles/adaptive_controller_test.dir/adaptive_controller_test.cc.o.d"
+  "adaptive_controller_test"
+  "adaptive_controller_test.pdb"
+  "adaptive_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_cache_decay_test.dir/augment_cache_decay_test.cc.o"
+  "CMakeFiles/augment_cache_decay_test.dir/augment_cache_decay_test.cc.o.d"
+  "augment_cache_decay_test"
+  "augment_cache_decay_test.pdb"
+  "augment_cache_decay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_cache_decay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

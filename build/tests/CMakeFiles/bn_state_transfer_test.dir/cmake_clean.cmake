@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bn_state_transfer_test.dir/bn_state_transfer_test.cc.o"
+  "CMakeFiles/bn_state_transfer_test.dir/bn_state_transfer_test.cc.o.d"
+  "bn_state_transfer_test"
+  "bn_state_transfer_test.pdb"
+  "bn_state_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bn_state_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

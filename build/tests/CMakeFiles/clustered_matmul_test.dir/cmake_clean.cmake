@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustered_matmul_test.dir/clustered_matmul_test.cc.o"
+  "CMakeFiles/clustered_matmul_test.dir/clustered_matmul_test.cc.o.d"
+  "clustered_matmul_test"
+  "clustered_matmul_test.pdb"
+  "clustered_matmul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustered_matmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complexity_model_test.dir/complexity_model_test.cc.o"
+  "CMakeFiles/complexity_model_test.dir/complexity_model_test.cc.o.d"
+  "complexity_model_test"
+  "complexity_model_test.pdb"
+  "complexity_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_report_test.dir/dedup_report_test.cc.o"
+  "CMakeFiles/dedup_report_test.dir/dedup_report_test.cc.o.d"
+  "dedup_report_test"
+  "dedup_report_test.pdb"
+  "dedup_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradient_clip_test.dir/gradient_clip_test.cc.o"
+  "CMakeFiles/gradient_clip_test.dir/gradient_clip_test.cc.o.d"
+  "gradient_clip_test"
+  "gradient_clip_test.pdb"
+  "gradient_clip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradient_clip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_param_sweep_test.dir/layer_param_sweep_test.cc.o"
+  "CMakeFiles/layer_param_sweep_test.dir/layer_param_sweep_test.cc.o.d"
+  "layer_param_sweep_test"
+  "layer_param_sweep_test.pdb"
+  "layer_param_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_param_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

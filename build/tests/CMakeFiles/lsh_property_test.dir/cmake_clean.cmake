@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_property_test.dir/lsh_property_test.cc.o"
+  "CMakeFiles/lsh_property_test.dir/lsh_property_test.cc.o.d"
+  "lsh_property_test"
+  "lsh_property_test.pdb"
+  "lsh_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

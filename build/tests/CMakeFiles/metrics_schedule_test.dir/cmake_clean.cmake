@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_schedule_test.dir/metrics_schedule_test.cc.o"
+  "CMakeFiles/metrics_schedule_test.dir/metrics_schedule_test.cc.o.d"
+  "metrics_schedule_test"
+  "metrics_schedule_test.pdb"
+  "metrics_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_schedule_test.dir/parameter_schedule_test.cc.o"
+  "CMakeFiles/parameter_schedule_test.dir/parameter_schedule_test.cc.o.d"
+  "parameter_schedule_test"
+  "parameter_schedule_test.pdb"
+  "parameter_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

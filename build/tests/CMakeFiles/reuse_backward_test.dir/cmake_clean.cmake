@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_backward_test.dir/reuse_backward_test.cc.o"
+  "CMakeFiles/reuse_backward_test.dir/reuse_backward_test.cc.o.d"
+  "reuse_backward_test"
+  "reuse_backward_test.pdb"
+  "reuse_backward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_backward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_conv2d_test.dir/reuse_conv2d_test.cc.o"
+  "CMakeFiles/reuse_conv2d_test.dir/reuse_conv2d_test.cc.o.d"
+  "reuse_conv2d_test"
+  "reuse_conv2d_test.pdb"
+  "reuse_conv2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_conv2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_study_test.dir/similarity_study_test.cc.o"
+  "CMakeFiles/similarity_study_test.dir/similarity_study_test.cc.o.d"
+  "similarity_study_test"
+  "similarity_study_test.pdb"
+  "similarity_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

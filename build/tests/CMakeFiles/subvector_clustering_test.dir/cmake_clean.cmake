@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subvector_clustering_test.dir/subvector_clustering_test.cc.o"
+  "CMakeFiles/subvector_clustering_test.dir/subvector_clustering_test.cc.o.d"
+  "subvector_clustering_test"
+  "subvector_clustering_test.pdb"
+  "subvector_clustering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subvector_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
