@@ -48,9 +48,10 @@ void ObservationOneAndTwo(const TrainedContext& context, CsvWriter* csv) {
   PrintRow({"L", "H", "r_c", "accuracy"});
   for (int64_t l : {400L, 50L, 10L}) {
     for (int h : {4, 10, 16}) {
-      ReuseConfig config;
-      config.sub_vector_length = l;
-      config.num_hashes = h;
+      const ReuseConfig config = ReuseConfigBuilder()
+                                     .SubVectorLength(l)
+                                     .NumHashes(h)
+                                     .BuildUnchecked();
       double rc = 0.0;
       const double accuracy = EvalLayerConfig(context, 1, config, &rc);
       PrintRow({std::to_string(l), std::to_string(h), Fmt(rc, 3),
@@ -68,11 +69,10 @@ void ObservationThree(const TrainedContext& context, CsvWriter* csv) {
       "(late):\n");
   PrintRow({"layer", "L", "H", "r_c", "accuracy"});
   for (size_t layer_index : {size_t{0}, size_t{1}}) {
-    ReuseConfig config;
     // A deliberately coarse setting; conv1 K = 75, conv2 K = 400. Use the
     // whole row for both so the comparison is "coarsest possible".
-    config.sub_vector_length = 0;
-    config.num_hashes = 6;
+    const ReuseConfig config =
+        ReuseConfigBuilder().SubVectorLength(0).NumHashes(6).BuildUnchecked();
     double rc = 0.0;
     const double accuracy =
         EvalLayerConfig(context, layer_index, config, &rc);

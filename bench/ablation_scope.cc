@@ -40,10 +40,11 @@ void Main() {
     for (int h : {6, 10, 14}) {
       Model twin = MakeReuseTwin(context, ExactReuseConfig());
       ReuseConv2d* layer = twin.reuse_layers[1];
-      ReuseConfig config;
-      config.sub_vector_length = 10;
-      config.num_hashes = h;
-      config.scope = scope;
+      const ReuseConfig config = ReuseConfigBuilder()
+                                     .SubVectorLength(10)
+                                     .NumHashes(h)
+                                     .Scope(scope)
+                                     .BuildUnchecked();
       const Status status = layer->SetReuseConfig(config);
       ADR_CHECK(status.ok()) << status.ToString();
       const double accuracy = EvaluateAccuracy(

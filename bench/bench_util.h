@@ -140,9 +140,7 @@ inline SyntheticImageConfig HardTask(int64_t side, int64_t num_samples,
 /// held at this setting contribute no approximation error, isolating the
 /// layer under study.
 inline ReuseConfig ExactReuseConfig() {
-  ReuseConfig config;
-  config.enabled = false;
-  return config;
+  return ReuseConfigBuilder().Enabled(false).BuildUnchecked();
 }
 
 }  // namespace adr::bench

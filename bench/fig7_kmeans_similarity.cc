@@ -34,12 +34,12 @@ void RunLayerSweep(const std::string& title, const TrainedContext& context,
     for (int64_t clusters : cluster_counts) {
       Model twin = MakeReuseTwin(context, ExactReuseConfig());
       ReuseConv2d* layer = twin.reuse_layers[layer_index];
-      ReuseConfig config;
-      config.method = ClusteringMethod::kKMeans;
-      config.kmeans_clusters = clusters;
-      config.kmeans_iterations = 5;
-      config.sub_vector_length = 0;  // Fig. 7 clusters whole row vectors
-      config.scope = scope;
+      // Fig. 7 clusters whole row vectors, so L = 0 ("use the full row").
+      const ReuseConfig config = ReuseConfigBuilder()
+                                     .KMeans(clusters, /*iterations=*/5)
+                                     .SubVectorLength(0)
+                                     .Scope(scope)
+                                     .BuildUnchecked();
       const Status status = layer->SetReuseConfig(config);
       ADR_CHECK(status.ok()) << status.ToString();
 

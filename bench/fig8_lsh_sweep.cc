@@ -44,9 +44,10 @@ void RunSweep(const std::string& title, const TrainedContext& context,
   PrintRow({"L", "H", "r_c", "accuracy"});
   for (int64_t l : l_values) {
     for (int h : h_values) {
-      ReuseConfig config;
-      config.sub_vector_length = l;
-      config.num_hashes = h;
+      const ReuseConfig config = ReuseConfigBuilder()
+                                     .SubVectorLength(l)
+                                     .NumHashes(h)
+                                     .BuildUnchecked();
       const Status status = layer->SetReuseConfig(config);
       ADR_CHECK(status.ok()) << status.ToString();
       layer->ResetStats();

@@ -1,22 +1,39 @@
 // google-benchmark microbenchmarks of the substrate kernels the reuse
 // savings are measured against: GEMM, im2col, LSH hashing, and the full
 // clustered matmul vs its dense equivalent.
+//
+// Every benchmark takes the worker thread count as its first argument
+// (the "threads" column), so scaling of the parallel runtime is read
+// straight off the report: compare threads=1 vs threads=4 rows.
 
 #include <benchmark/benchmark.h>
+
+#include <array>
 
 #include "core/clustered_matmul.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/tensor.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace adr {
 namespace {
 
+constexpr int64_t kThreadCounts[] = {1, 2, 4};
+
+// Reads the leading "threads" argument and points the global pool at it.
+int64_t SetupThreads(const benchmark::State& state) {
+  const int64_t threads = state.range(0);
+  ThreadPool::SetGlobalThreads(static_cast<int>(threads));
+  return threads;
+}
+
 void BM_Gemm(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  const int64_t k = state.range(1);
-  const int64_t m = state.range(2);
+  SetupThreads(state);
+  const int64_t n = state.range(1);
+  const int64_t k = state.range(2);
+  const int64_t m = state.range(3);
   Rng rng(1);
   Tensor a = Tensor::RandomGaussian(Shape({n, k}), &rng);
   Tensor b = Tensor::RandomGaussian(Shape({k, m}), &rng);
@@ -27,13 +44,21 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * k * m);
 }
-BENCHMARK(BM_Gemm)
-    ->Args({256, 256, 256})
-    ->Args({1024, 400, 64})
-    ->Args({4096, 75, 64});
+void GemmArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"threads", "n", "k", "m"});
+  for (const auto shape : {std::array<int64_t, 3>{256, 256, 256},
+                           std::array<int64_t, 3>{1024, 400, 64},
+                           std::array<int64_t, 3>{4096, 75, 64}}) {
+    for (const int64_t threads : kThreadCounts) {
+      bench->Args({threads, shape[0], shape[1], shape[2]});
+    }
+  }
+}
+BENCHMARK(BM_Gemm)->Apply(GemmArgs);
 
 void BM_GemmTransA(benchmark::State& state) {
-  const int64_t n = state.range(0), k = state.range(1), m = state.range(2);
+  SetupThreads(state);
+  const int64_t n = state.range(1), k = state.range(2), m = state.range(3);
   Rng rng(2);
   Tensor a = Tensor::RandomGaussian(Shape({n, k}), &rng);   // n x k
   Tensor dy = Tensor::RandomGaussian(Shape({n, m}), &rng);  // n x m
@@ -44,9 +69,16 @@ void BM_GemmTransA(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * k * m);
 }
-BENCHMARK(BM_GemmTransA)->Args({1024, 400, 64});
+void GemmTransAArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"threads", "n", "k", "m"});
+  for (const int64_t threads : kThreadCounts) {
+    bench->Args({threads, 1024, 400, 64});
+  }
+}
+BENCHMARK(BM_GemmTransA)->Apply(GemmTransAArgs);
 
 void BM_Im2Col(benchmark::State& state) {
+  SetupThreads(state);
   ConvGeometry geo;
   geo.batch = 8;
   geo.in_channels = 16;
@@ -65,12 +97,17 @@ void BM_Im2Col(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * cols.num_elements());
 }
-BENCHMARK(BM_Im2Col);
+void ThreadsOnlyArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"threads"});
+  for (const int64_t threads : kThreadCounts) bench->Args({threads});
+}
+BENCHMARK(BM_Im2Col)->Apply(ThreadsOnlyArgs);
 
 void BM_LshHash(benchmark::State& state) {
+  SetupThreads(state);
   const int64_t rows = 4096;
-  const int64_t dim = state.range(0);
-  const int num_hashes = static_cast<int>(state.range(1));
+  const int64_t dim = state.range(1);
+  const int num_hashes = static_cast<int>(state.range(2));
   LshFamily family;
   const Status status = LshFamily::Create(dim, num_hashes, 7, &family);
   if (!status.ok()) {
@@ -86,7 +123,17 @@ void BM_LshHash(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * rows * dim * num_hashes);
 }
-BENCHMARK(BM_LshHash)->Args({400, 8})->Args({400, 16})->Args({25, 8});
+void LshHashArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"threads", "dim", "h"});
+  for (const auto shape :
+       {std::array<int64_t, 2>{400, 8}, std::array<int64_t, 2>{400, 16},
+        std::array<int64_t, 2>{25, 8}}) {
+    for (const int64_t threads : kThreadCounts) {
+      bench->Args({threads, shape[0], shape[1]});
+    }
+  }
+}
+BENCHMARK(BM_LshHash)->Apply(LshHashArgs);
 
 // Dense vs clustered forward on a redundant matrix: the headline kernel
 // comparison. Items processed counts the *baseline* work so the reported
@@ -105,6 +152,7 @@ void SetupRedundant(Tensor* x, Tensor* w, int64_t n, int64_t k, int64_t m) {
 }
 
 void BM_DenseForward(benchmark::State& state) {
+  SetupThreads(state);
   const int64_t n = 4096, k = 400, m = 64;
   Tensor x, w;
   SetupRedundant(&x, &w, n, k, m);
@@ -115,12 +163,13 @@ void BM_DenseForward(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * k * m);
 }
-BENCHMARK(BM_DenseForward);
+BENCHMARK(BM_DenseForward)->Apply(ThreadsOnlyArgs);
 
 void BM_ClusteredForward(benchmark::State& state) {
+  SetupThreads(state);
   const int64_t n = 4096, k = 400, m = 64;
-  const int64_t l = state.range(0);
-  const int h = static_cast<int>(state.range(1));
+  const int64_t l = state.range(1);
+  const int h = static_cast<int>(state.range(2));
   Tensor x, w;
   SetupRedundant(&x, &w, n, k, m);
   auto families = BlockLshFamilies::Create(k, l, h, 11);
@@ -136,10 +185,17 @@ void BM_ClusteredForward(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * k * m);
 }
-BENCHMARK(BM_ClusteredForward)
-    ->Args({400, 8})
-    ->Args({100, 8})
-    ->Args({25, 12});
+void ClusteredForwardArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"threads", "L", "H"});
+  for (const auto shape :
+       {std::array<int64_t, 2>{400, 8}, std::array<int64_t, 2>{100, 8},
+        std::array<int64_t, 2>{25, 12}}) {
+    for (const int64_t threads : kThreadCounts) {
+      bench->Args({threads, shape[0], shape[1]});
+    }
+  }
+}
+BENCHMARK(BM_ClusteredForward)->Apply(ClusteredForwardArgs);
 
 }  // namespace
 }  // namespace adr

@@ -1,18 +1,47 @@
 // google-benchmark microbenchmarks of the reuse kernels themselves:
 // forward clustering+GEMM, backward reuse vs exact backward, the cluster
 // reuse cache, and exact dedup as the trivial baseline.
+//
+// Every benchmark takes the worker thread count as its first argument
+// (the "threads" column); compare threads=1 vs threads=4 rows to read
+// the parallel runtime's scaling.
 
 #include <benchmark/benchmark.h>
+
+#include <array>
 
 #include "clustering/exact_dedup.h"
 #include "core/clustered_matmul.h"
 #include "core/reuse_backward.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace adr {
 namespace {
+
+constexpr int64_t kThreadCounts[] = {1, 2, 4};
+
+// Reads the leading "threads" argument and points the global pool at it.
+void SetupThreads(const benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
+}
+
+void ThreadsOnlyArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"threads"});
+  for (const int64_t threads : kThreadCounts) bench->Args({threads});
+}
+
+void ThreadsLHArgs(benchmark::internal::Benchmark* bench,
+                   std::initializer_list<std::array<int64_t, 2>> lh) {
+  bench->ArgNames({"threads", "L", "H"});
+  for (const auto& shape : lh) {
+    for (const int64_t threads : kThreadCounts) {
+      bench->Args({threads, shape[0], shape[1]});
+    }
+  }
+}
 
 // Redundant unfolded matrix: prototypes + small noise.
 struct Workload {
@@ -44,6 +73,7 @@ Workload& SharedWorkload() {
 }
 
 void BM_ExactBackward(benchmark::State& state) {
+  SetupThreads(state);
   Workload& wl = SharedWorkload();
   Tensor dw(Shape({Workload::kK, Workload::kM}));
   Tensor dx(Shape({Workload::kN, Workload::kK}));
@@ -57,12 +87,13 @@ void BM_ExactBackward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * Workload::kN *
                           Workload::kK * Workload::kM);
 }
-BENCHMARK(BM_ExactBackward);
+BENCHMARK(BM_ExactBackward)->Apply(ThreadsOnlyArgs);
 
 void BM_ReuseBackward(benchmark::State& state) {
+  SetupThreads(state);
   Workload& wl = SharedWorkload();
-  const int64_t l = state.range(0);
-  const int h = static_cast<int>(state.range(1));
+  const int64_t l = state.range(1);
+  const int h = static_cast<int>(state.range(2));
   auto families = BlockLshFamilies::Create(Workload::kK, l, h, 5);
   if (!families.ok()) {
     state.SkipWithError(families.status().ToString().c_str());
@@ -78,12 +109,15 @@ void BM_ReuseBackward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * Workload::kN *
                           Workload::kK * Workload::kM);
 }
-BENCHMARK(BM_ReuseBackward)->Args({100, 8})->Args({25, 12});
+BENCHMARK(BM_ReuseBackward)->Apply([](benchmark::internal::Benchmark* b) {
+  ThreadsLHArgs(b, {{100, 8}, {25, 12}});
+});
 
 void BM_ClusterOnly(benchmark::State& state) {
+  SetupThreads(state);
   Workload& wl = SharedWorkload();
-  const int64_t l = state.range(0);
-  const int h = static_cast<int>(state.range(1));
+  const int64_t l = state.range(1);
+  const int h = static_cast<int>(state.range(2));
   auto families = BlockLshFamilies::Create(Workload::kK, l, h, 5);
   if (!families.ok()) {
     state.SkipWithError(families.status().ToString().c_str());
@@ -97,9 +131,12 @@ void BM_ClusterOnly(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * Workload::kN * Workload::kK *
                           h);
 }
-BENCHMARK(BM_ClusterOnly)->Args({400, 8})->Args({25, 12});
+BENCHMARK(BM_ClusterOnly)->Apply([](benchmark::internal::Benchmark* b) {
+  ThreadsLHArgs(b, {{400, 8}, {25, 12}});
+});
 
 void BM_ClusterReuseCacheWarm(benchmark::State& state) {
+  SetupThreads(state);
   Workload& wl = SharedWorkload();
   auto families = BlockLshFamilies::Create(Workload::kK, 100, 10, 5);
   if (!families.ok()) {
@@ -119,9 +156,10 @@ void BM_ClusterReuseCacheWarm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * Workload::kN * Workload::kK *
                           Workload::kM);
 }
-BENCHMARK(BM_ClusterReuseCacheWarm);
+BENCHMARK(BM_ClusterReuseCacheWarm)->Apply(ThreadsOnlyArgs);
 
 void BM_ExactDedup(benchmark::State& state) {
+  SetupThreads(state);
   Workload& wl = SharedWorkload();
   for (auto _ : state) {
     Clustering clustering =
@@ -131,7 +169,7 @@ void BM_ExactDedup(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * Workload::kN * Workload::kK);
 }
-BENCHMARK(BM_ExactDedup);
+BENCHMARK(BM_ExactDedup)->Apply(ThreadsOnlyArgs);
 
 }  // namespace
 }  // namespace adr

@@ -29,10 +29,11 @@ double EvaluateWithConfig(const TrainedContext& context,
                           double* reuse_rate_out) {
   Model twin = MakeReuseTwin(context, ExactReuseConfig());
   ReuseConv2d* layer = twin.reuse_layers[setting.layer_index];
-  ReuseConfig config;
-  config.sub_vector_length = setting.l;
-  config.num_hashes = setting.h;
-  config.cluster_reuse = cluster_reuse;
+  const ReuseConfig config = ReuseConfigBuilder()
+                                 .SubVectorLength(setting.l)
+                                 .NumHashes(setting.h)
+                                 .ClusterReuse(cluster_reuse)
+                                 .BuildUnchecked();
   const Status status = layer->SetReuseConfig(config);
   ADR_CHECK(status.ok()) << status.ToString();
   const double accuracy = EvaluateAccuracy(&twin.network, context.dataset,
@@ -96,10 +97,11 @@ void Main() {
   ADR_CHECK(open.ok()) << open.ToString();
   Model twin = MakeReuseTwin(context, ExactReuseConfig());
   ReuseConv2d* layer = twin.reuse_layers[0];
-  ReuseConfig config;
-  config.sub_vector_length = 5;
-  config.num_hashes = 15;
-  config.cluster_reuse = true;
+  const ReuseConfig config = ReuseConfigBuilder()
+                                 .SubVectorLength(5)
+                                 .NumHashes(15)
+                                 .ClusterReuse(true)
+                                 .BuildUnchecked();
   ADR_CHECK(layer->SetReuseConfig(config).ok());
   DataLoader loader(&context.dataset, 8, /*shuffle=*/true, 555);
   Batch batch;

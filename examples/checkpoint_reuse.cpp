@@ -3,9 +3,11 @@
 // served (or fine-tuned) with deep reuse by loading their checkpoint.
 //
 // Usage: ./build/examples/checkpoint_reuse [--steps N] [--l L] [--h H]
+//                                          [--threads T]
 
 #include <cstdio>
 
+#include "core/reuse_config.h"
 #include "data/dataloader.h"
 #include "data/synthetic_images.h"
 #include "models/models.h"
@@ -13,6 +15,7 @@
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
 #include "util/flags.h"
+#include "util/parallel.h"
 
 int main(int argc, char** argv) {
   using namespace adr;
@@ -20,15 +23,20 @@ int main(int argc, char** argv) {
   int64_t steps = 200;
   int64_t l = 25;
   int64_t h = 8;
+  int64_t threads = 0;
   FlagSet flags;
   flags.AddInt64("steps", &steps, "training steps for the dense model");
   flags.AddInt64("l", &l, "sub-vector length L for the reuse twin");
   flags.AddInt64("h", &h, "hash count H for the reuse twin");
+  flags.AddInt64("threads", &threads,
+                 "worker threads (0 = ADR_THREADS or hardware concurrency)");
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
                  flags.Usage(argv[0]).c_str());
     return 1;
   }
+  if (threads > 0) ThreadPool::SetGlobalThreads(static_cast<int>(threads));
+  std::printf("using %d thread(s)\n", ThreadPool::GlobalThreads());
 
   SyntheticImageConfig data_config =
       SyntheticImageConfig::CifarLike(512, 3);
@@ -75,8 +83,16 @@ int main(int argc, char** argv) {
   // 3. Restore into a reuse twin and compare.
   ModelOptions reuse_options = options;
   reuse_options.use_reuse = true;
-  reuse_options.reuse.sub_vector_length = l;
-  reuse_options.reuse.num_hashes = static_cast<int>(h);
+  auto reuse_config = ReuseConfigBuilder()
+                          .SubVectorLength(l)
+                          .NumHashes(static_cast<int>(h))
+                          .Build();
+  if (!reuse_config.ok()) {
+    std::fprintf(stderr, "reuse config: %s\n",
+                 reuse_config.status().ToString().c_str());
+    return 1;
+  }
+  reuse_options.reuse = *reuse_config;
   reuse_options.seed = 777;  // different init, fully overwritten by load
   auto reuse = BuildCifarNet(reuse_options);
   if (!reuse.ok()) {
@@ -95,10 +111,10 @@ int main(int argc, char** argv) {
               "(reuse-caused loss %.3f)\n",
               static_cast<long long>(l), static_cast<long long>(h),
               reuse_accuracy, dense_accuracy - reuse_accuracy);
-  for (ReuseConv2d* layer : reuse->reuse_layers) {
-    std::printf("  %-8s r_c %.3f, conv MACs saved %.1f%%\n",
-                layer->name().c_str(), layer->stats().avg_remaining_ratio,
-                layer->stats().MacsSavedFraction() * 100.0);
+  for (const auto& [name, stats] : reuse->network.CollectReuseStats()) {
+    std::printf("  %-8s r_c %.3f, conv MACs saved %.1f%%\n", name.c_str(),
+                stats.avg_remaining_ratio,
+                stats.MacsSavedFraction() * 100.0);
   }
   return 0;
 }

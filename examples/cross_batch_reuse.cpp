@@ -34,12 +34,17 @@ int main() {
   conv.pad = 2;
   conv.in_height = 16;
   conv.in_width = 16;
-  ReuseConfig reuse;
-  reuse.sub_vector_length = 15;
-  reuse.num_hashes = 12;
-  reuse.scope = ClusterScope::kAcrossBatch;  // implies CR = 1
+  auto reuse = ReuseConfigBuilder()
+                   .SubVectorLength(15)
+                   .NumHashes(12)
+                   .Scope(ClusterScope::kAcrossBatch)  // implies CR = 1
+                   .Build();
+  if (!reuse.ok()) {
+    std::fprintf(stderr, "%s\n", reuse.status().ToString().c_str());
+    return 1;
+  }
   Rng rng(1);
-  ReuseConv2d layer("conv1", conv, reuse, &rng);
+  ReuseConv2d layer("conv1", conv, *reuse, &rng);
 
   DataLoader loader(&*dataset, 8, /*shuffle=*/true, 9);
   Batch batch;

@@ -88,10 +88,10 @@ int main(int argc, char** argv) {
 
   for (int64_t l : CandidateLValues(k, layer->config().kernel, k)) {
     for (int h : {4, 8, 16}) {
-      ReuseConfig config;
-      config.sub_vector_length = l;
-      config.num_hashes = h;
-      if (!layer->SetReuseConfig(config).ok()) continue;
+      auto config =
+          ReuseConfigBuilder().SubVectorLength(l).NumHashes(h).Build(k);
+      if (!config.ok()) continue;
+      if (!layer->SetReuseConfig(*config).ok()) continue;
       layer->ResetStats();
       const double accuracy =
           EvaluateAccuracy(&twin->network, *dataset, 16, 128);

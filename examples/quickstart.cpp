@@ -32,18 +32,26 @@ int main() {
     return 1;
   }
 
-  // 2. A model with reuse-enabled convolutions. ReuseConfig carries the
-  //    paper's three knobs: sub-vector length L, hash count H, and the
-  //    cluster-reuse flag CR.
+  // 2. A model with reuse-enabled convolutions. ReuseConfigBuilder sets
+  //    the paper's three knobs — sub-vector length L, hash count H, and
+  //    the cluster-reuse flag CR — and validates them in one place.
   ModelOptions options;
   options.num_classes = 4;
   options.input_size = 16;
   options.width = 0.25;   // scaled-down CifarNet
   options.fc_width = 0.1;
   options.use_reuse = true;
-  options.reuse.sub_vector_length = 25;  // L
-  options.reuse.num_hashes = 12;         // H
-  options.reuse.cluster_reuse = false;   // CR
+  auto reuse = ReuseConfigBuilder()
+                   .SubVectorLength(25)  // L
+                   .NumHashes(12)        // H
+                   .ClusterReuse(false)  // CR
+                   .Build();
+  if (!reuse.ok()) {
+    std::fprintf(stderr, "reuse config: %s\n",
+                 reuse.status().ToString().c_str());
+    return 1;
+  }
+  options.reuse = *reuse;
   auto model = BuildCifarNet(options);
   if (!model.ok()) {
     std::fprintf(stderr, "model: %s\n", model.status().ToString().c_str());

@@ -2,19 +2,33 @@
 // schedule and compare against the dense baseline — the paper's headline
 // use case (Section V-A / Table IV).
 //
-// Usage: ./build/examples/train_adaptive [cifarnet|alexnet|vgg19]
+// Usage: ./build/examples/train_adaptive [--model cifarnet|alexnet|vgg19]
+//                                        [--threads T]
 
 #include <cstdio>
 #include <cstring>
 
 #include "core/strategies.h"
 #include "data/synthetic_images.h"
+#include "util/flags.h"
+#include "util/parallel.h"
 
 int main(int argc, char** argv) {
   using namespace adr;
 
   std::string model_name = "cifarnet";
-  if (argc > 1) model_name = argv[1];
+  int64_t threads = 0;
+  FlagSet flags;
+  flags.AddString("model", &model_name, "cifarnet, alexnet, or vgg19");
+  flags.AddInt64("threads", &threads,
+                 "worker threads (0 = ADR_THREADS or hardware concurrency)");
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (threads > 0) ThreadPool::SetGlobalThreads(static_cast<int>(threads));
+  std::printf("using %d thread(s)\n", ThreadPool::GlobalThreads());
 
   SyntheticImageConfig data_config = SyntheticImageConfig::CifarLike(
       /*num_samples=*/512, /*seed=*/11);

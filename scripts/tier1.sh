@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, run the test suite at 1 and 4 worker
+# threads, then exercise the concurrency-heavy tests under
+# ThreadSanitizer.
+#
+# Usage: scripts/tier1.sh [--no-tsan]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_TSAN=1
+if [[ "${1:-}" == "--no-tsan" ]]; then
+  RUN_TSAN=0
+fi
+
+echo "== configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+echo "== ctest, ADR_THREADS=1 =="
+ADR_THREADS=1 ctest --test-dir build --output-on-failure -j
+
+echo "== ctest, ADR_THREADS=4 =="
+ADR_THREADS=4 ctest --test-dir build --output-on-failure -j
+
+if [[ "$RUN_TSAN" == "1" ]]; then
+  echo "== ThreadSanitizer: clustering + matmul + gemm + parallel =="
+  cmake -B build-tsan -S . -DADR_TSAN=ON >/dev/null
+  cmake --build build-tsan -j --target \
+    parallel_test parallel_determinism_test gemm_test clustering_test \
+    clustered_matmul_test
+  for t in parallel_test parallel_determinism_test gemm_test \
+           clustering_test clustered_matmul_test; do
+    echo "-- tsan: $t"
+    ADR_THREADS=4 "./build-tsan/tests/$t" >/dev/null
+  done
+fi
+
+echo "tier1: OK"

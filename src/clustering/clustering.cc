@@ -1,6 +1,7 @@
 #include "clustering/clustering.h"
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace adr {
 
@@ -34,11 +35,15 @@ void ScatterRows(const Tensor& cluster_rows, const Clustering& clustering,
   const int64_t row_dim = cluster_rows.shape()[1];
   const float* src = cluster_rows.data();
   const int64_t n = clustering.num_rows();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* from = src + clustering.assignment[i] * row_dim;
-    float* to = out + i * row_stride;
-    for (int64_t j = 0; j < row_dim; ++j) to[j] = from[j];
-  }
+  // Each output row is written by exactly one index: row chunks are
+  // race-free and the result is thread-count independent.
+  ParallelFor(n, GrainForCost(row_dim), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* from = src + clustering.assignment[i] * row_dim;
+      float* to = out + i * row_stride;
+      for (int64_t j = 0; j < row_dim; ++j) to[j] = from[j];
+    }
+  });
 }
 
 }  // namespace adr

@@ -6,6 +6,7 @@
 
 #include "tensor/gemm.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace adr {
 
@@ -63,20 +64,27 @@ void LshFamily::HashRows(const float* data, int64_t num_rows,
     // Compact the strided rows first so the GEMM streams contiguously;
     // the copy is O(N*L), negligible next to the O(N*L*H) projections.
     std::vector<float> compact(static_cast<size_t>(num_rows) * dim_);
-    for (int64_t i = 0; i < num_rows; ++i) {
-      std::copy_n(data + i * row_stride, dim_,
-                  compact.data() + i * dim_);
-    }
+    ParallelFor(num_rows, GrainForCost(dim_),
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    std::copy_n(data + i * row_stride, dim_,
+                                compact.data() + i * dim_);
+                  }
+                });
     Gemm(compact.data(), hyperplanes_t_.data(), projections.data(),
          num_rows, dim_, num_hashes_);
   }
-  for (int64_t i = 0; i < num_rows; ++i) {
-    const float* row = projections.data() + i * num_hashes_;
-    LshSignature& sig = (*out)[static_cast<size_t>(i)];
-    for (int h = 0; h < num_hashes_; ++h) {
-      if (row[h] > 0.0f) sig.SetBit(h);
-    }
-  }
+  // Sign-packing per row chunk: each row owns its signature slot.
+  ParallelFor(num_rows, GrainForCost(num_hashes_),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const float* row = projections.data() + i * num_hashes_;
+                  LshSignature& sig = (*out)[static_cast<size_t>(i)];
+                  for (int h = 0; h < num_hashes_; ++h) {
+                    if (row[h] > 0.0f) sig.SetBit(h);
+                  }
+                }
+              });
 }
 
 Clustering ClusterBySignature(const std::vector<LshSignature>& row_signatures,

@@ -7,9 +7,29 @@
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace adr {
+
+namespace {
+
+// y[i] += yc[assignment[i]] for every row: the member scatter that fans
+// the per-cluster GEMM results back out. Each row owns y[i], so row
+// chunks are race-free and thread-count independent.
+void ScatterClusterOutputs(const float* yc, const Clustering& clustering,
+                           int64_t num_rows, int64_t m, float* y) {
+  ParallelFor(num_rows, GrainForCost(m), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* src =
+          yc + clustering.assignment[static_cast<size_t>(i)] * m;
+      float* dst = y + i * m;
+      for (int64_t j = 0; j < m; ++j) dst[j] += src[j];
+    }
+  });
+}
+
+}  // namespace
 
 ClusterReuseCache::BlockMap& ClusterReuseCache::BlockFor(int64_t block) const {
   ADR_CHECK_GE(block, 0);
@@ -143,19 +163,32 @@ ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
         Gemm(block.centroids.data(), w_block, yc.data(), num_clusters,
              length, m);
       } else {
+        // Centroid gather: pack the missed centroids contiguously for one
+        // GEMM, then scatter its rows back. Both sides write disjoint
+        // rows per index, so row chunks parallelize deterministically.
         Tensor compact(Shape({num_miss, length}));
-        for (int64_t i = 0; i < num_miss; ++i) {
-          std::memcpy(compact.data() + i * length,
-                      block.centroids.data() + miss_clusters[i] * length,
-                      sizeof(float) * static_cast<size_t>(length));
-        }
+        ParallelFor(num_miss, GrainForCost(length),
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        std::memcpy(
+                            compact.data() + i * length,
+                            block.centroids.data() +
+                                miss_clusters[static_cast<size_t>(i)] * length,
+                            sizeof(float) * static_cast<size_t>(length));
+                      }
+                    });
         Tensor compact_y(Shape({num_miss, m}));
         Gemm(compact.data(), w_block, compact_y.data(), num_miss, length, m);
-        for (int64_t i = 0; i < num_miss; ++i) {
-          std::memcpy(yc.data() + miss_clusters[i] * m,
-                      compact_y.data() + i * m,
-                      sizeof(float) * static_cast<size_t>(m));
-        }
+        ParallelFor(num_miss, GrainForCost(m),
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        std::memcpy(
+                            yc.data() +
+                                miss_clusters[static_cast<size_t>(i)] * m,
+                            compact_y.data() + i * m,
+                            sizeof(float) * static_cast<size_t>(m));
+                      }
+                    });
       }
       result.stats.macs_gemm +=
           static_cast<double>(num_miss) * length * m;
@@ -174,13 +207,7 @@ ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
     }
 
     // 4. Reconstruct: y[i] += y_c[cluster(i)].
-    const float* yc_data = yc.data();
-    for (int64_t i = 0; i < num_rows; ++i) {
-      const float* src =
-          yc_data + block.clustering.assignment[static_cast<size_t>(i)] * m;
-      float* dst = y + i * m;
-      for (int64_t j = 0; j < m; ++j) dst[j] += src[j];
-    }
+    ScatterClusterOutputs(yc.data(), block.clustering, num_rows, m, y);
     result.stats.macs_scatter += static_cast<double>(num_rows) * m;
   }
 
@@ -273,13 +300,7 @@ ForwardReuseResult KMeansMatmulForward(
          yc.data(), num_clusters, block.length, m);
     result.stats.macs_gemm +=
         static_cast<double>(num_clusters) * block.length * m;
-    const float* yc_data = yc.data();
-    for (int64_t i = 0; i < num_rows; ++i) {
-      const float* src =
-          yc_data + block.clustering.assignment[static_cast<size_t>(i)] * m;
-      float* dst = y + i * m;
-      for (int64_t j = 0; j < m; ++j) dst[j] += src[j];
-    }
+    ScatterClusterOutputs(yc.data(), block.clustering, num_rows, m, y);
     result.stats.macs_scatter += static_cast<double>(num_rows) * m;
     result.stats.clusters_total += num_clusters;
   }

@@ -1,11 +1,58 @@
 #include "core/reuse_backward.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace adr {
+
+namespace {
+
+// The per-cluster dy reduction is chunked into a fixed number of row
+// ranges whose partial sums are combined in chunk order. The layout
+// depends only on N — never on the thread count — so the reduction is
+// bit-deterministic for 1, 2, or any number of threads.
+constexpr int64_t kReduceChunks = 8;
+
+// dy_sum[cl] = sum of dy rows assigned to cluster cl (Eq. 8).
+void ClusterRowSums(const float* dy, const Clustering& clustering, int64_t n,
+                    int64_t m, float* sums) {
+  const int64_t num_clusters = clustering.num_clusters();
+  const int64_t chunks = std::min<int64_t>(kReduceChunks, n);
+  std::vector<float> partials(
+      static_cast<size_t>(chunks * num_clusters * m), 0.0f);
+  ThreadPool::Global()->Run(chunks, [&](int64_t c) {
+    const int64_t begin = c * n / chunks;
+    const int64_t end = (c + 1) * n / chunks;
+    float* part = partials.data() + c * num_clusters * m;
+    for (int64_t i = begin; i < end; ++i) {
+      const float* src = dy + i * m;
+      float* dst =
+          part + clustering.assignment[static_cast<size_t>(i)] * m;
+      for (int64_t j = 0; j < m; ++j) dst[j] += src[j];
+    }
+  });
+  // Combine in ascending chunk order; cluster rows are disjoint, so the
+  // combine itself parallelizes over clusters.
+  ParallelFor(num_clusters, GrainForCost(chunks * m),
+              [&](int64_t cl_begin, int64_t cl_end) {
+                for (int64_t cl = cl_begin; cl < cl_end; ++cl) {
+                  float* dst = sums + cl * m;
+                  for (int64_t c = 0; c < chunks; ++c) {
+                    const float* part =
+                        partials.data() + (c * num_clusters + cl) * m;
+                    for (int64_t j = 0; j < m; ++j) dst[j] += part[j];
+                  }
+                }
+              });
+}
+
+}  // namespace
 
 BackwardReuseResult ReuseBackward(const ReuseClustering& clustering,
                                   const Tensor& weight, const Tensor& dy) {
@@ -31,12 +78,7 @@ BackwardReuseResult ReuseBackward(const ReuseClustering& clustering,
     // dy_{c,s}: sum the dy rows of each cluster (Eq. 8).
     Tensor dy_sum(Shape({num_clusters, m}));
     float* sums = dy_sum.data();
-    for (int64_t i = 0; i < n; ++i) {
-      const float* src = dy_data + i * m;
-      float* dst =
-          sums + block.clustering.assignment[static_cast<size_t>(i)] * m;
-      for (int64_t j = 0; j < m; ++j) dst[j] += src[j];
-    }
+    ClusterRowSums(dy_data, block.clustering, n, m, sums);
     result.stats.macs += static_cast<double>(n - num_clusters) * m;
 
     // dW_I = x_c^T * dy_{c,s} (Eq. 10), written into rows
@@ -47,13 +89,17 @@ BackwardReuseResult ReuseBackward(const ReuseClustering& clustering,
     result.stats.macs += static_cast<double>(num_clusters) * length * m;
 
     // dy_{c,sa}: average instead of sum (divide each row by N_l).
-    for (int64_t c = 0; c < num_clusters; ++c) {
-      const float inv = 1.0f / static_cast<float>(
+    ParallelFor(num_clusters, GrainForCost(m),
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t c = begin; c < end; ++c) {
+                    const float inv =
+                        1.0f / static_cast<float>(
                                    block.clustering.cluster_sizes
                                        [static_cast<size_t>(c)]);
-      float* row = sums + c * m;
-      for (int64_t j = 0; j < m; ++j) row[j] *= inv;
-    }
+                    float* row = sums + c * m;
+                    for (int64_t j = 0; j < m; ++j) row[j] *= inv;
+                  }
+                });
 
     // dx_c = dy_{c,sa} * W_I^T (Eq. 18).
     Tensor dx_c(Shape({num_clusters, length}));

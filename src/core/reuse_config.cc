@@ -26,17 +26,9 @@ std::string_view ClusteringMethodToString(ClusteringMethod method) {
   return "?";
 }
 
-Status ReuseConfig::Validate(int64_t k) const {
-  if (k <= 0) {
-    return Status::InvalidArgument("K must be > 0");
-  }
+Status ReuseConfig::Validate() const {
   if (sub_vector_length < 0) {
     return Status::InvalidArgument("sub_vector_length must be >= 0");
-  }
-  if (sub_vector_length > k) {
-    return Status::InvalidArgument(
-        "sub_vector_length " + std::to_string(sub_vector_length) +
-        " exceeds K = " + std::to_string(k));
   }
   if (num_hashes < 1 || num_hashes > kMaxLshHashes) {
     return Status::InvalidArgument(
@@ -57,6 +49,29 @@ Status ReuseConfig::Validate(int64_t k) const {
     }
   }
   return Status::OK();
+}
+
+Status ReuseConfig::Validate(int64_t k) const {
+  if (k <= 0) {
+    return Status::InvalidArgument("K must be > 0");
+  }
+  ADR_RETURN_NOT_OK(Validate());
+  if (sub_vector_length > k) {
+    return Status::InvalidArgument(
+        "sub_vector_length " + std::to_string(sub_vector_length) +
+        " exceeds K = " + std::to_string(k));
+  }
+  return Status::OK();
+}
+
+Result<ReuseConfig> ReuseConfigBuilder::Build() const {
+  ADR_RETURN_NOT_OK(config_.Validate());
+  return config_;
+}
+
+Result<ReuseConfig> ReuseConfigBuilder::Build(int64_t k) const {
+  ADR_RETURN_NOT_OK(config_.Validate(k));
+  return config_;
 }
 
 std::string ReuseConfig::ToString() const {

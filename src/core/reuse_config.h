@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/result.h"
 #include "util/status.h"
 
 namespace adr {
@@ -70,12 +71,86 @@ struct ReuseConfig {
     return cluster_reuse || scope == ClusterScope::kAcrossBatch;
   }
 
-  /// \brief Validates against the layer's unfolded width K.
+  /// \brief Validates every constraint that does not depend on layer
+  /// geometry (hash count range, k-means parameters, method/CR
+  /// compatibility). The single validation path: Validate(k) and every
+  /// construction site build on this.
+  Status Validate() const;
+
+  /// \brief Validates against the layer's unfolded width K (everything in
+  /// Validate() plus the L <= K geometry constraints).
   Status Validate(int64_t k) const;
 
   std::string ToString() const;
 
   bool operator==(const ReuseConfig& other) const = default;
+};
+
+/// \brief Fluent construction of ReuseConfig with validation at the end:
+///
+///   ADR_ASSIGN_OR_RETURN(ReuseConfig config,
+///                        ReuseConfigBuilder()
+///                            .SubVectorLength(25)
+///                            .NumHashes(12)
+///                            .ClusterReuse(false)
+///                            .Build());
+///
+/// Build() runs the geometry-independent checks; Build(k) additionally
+/// checks against a layer's unfolded width. Start from an existing config
+/// with ReuseConfigBuilder(base) to tweak one knob (how the adaptive
+/// strategies flip CR between batches).
+class ReuseConfigBuilder {
+ public:
+  ReuseConfigBuilder() = default;
+  explicit ReuseConfigBuilder(const ReuseConfig& base) : config_(base) {}
+
+  ReuseConfigBuilder& Enabled(bool enabled) {
+    config_.enabled = enabled;
+    return *this;
+  }
+  ReuseConfigBuilder& SubVectorLength(int64_t l) {
+    config_.sub_vector_length = l;
+    return *this;
+  }
+  ReuseConfigBuilder& NumHashes(int h) {
+    config_.num_hashes = h;
+    return *this;
+  }
+  ReuseConfigBuilder& ClusterReuse(bool cr) {
+    config_.cluster_reuse = cr;
+    return *this;
+  }
+  ReuseConfigBuilder& Scope(ClusterScope scope) {
+    config_.scope = scope;
+    return *this;
+  }
+  ReuseConfigBuilder& Seed(uint64_t seed) {
+    config_.seed = seed;
+    return *this;
+  }
+  ReuseConfigBuilder& Method(ClusteringMethod method) {
+    config_.method = method;
+    return *this;
+  }
+  ReuseConfigBuilder& KMeans(int64_t clusters, int iterations) {
+    config_.method = ClusteringMethod::kKMeans;
+    config_.kmeans_clusters = clusters;
+    config_.kmeans_iterations = iterations;
+    return *this;
+  }
+
+  /// \brief Validated build (geometry-independent checks only).
+  Result<ReuseConfig> Build() const;
+
+  /// \brief Validated build against a layer's unfolded width K.
+  Result<ReuseConfig> Build(int64_t k) const;
+
+  /// \brief The raw config without validation — for call sites that
+  /// validate later anyway (layer construction, SetReuseConfig).
+  const ReuseConfig& BuildUnchecked() const { return config_; }
+
+ private:
+  ReuseConfig config_;
 };
 
 }  // namespace adr

@@ -15,28 +15,12 @@
 #include "core/subvector_clustering.h"
 #include "nn/conv2d.h"
 #include "nn/layer.h"
+#include "nn/reuse_stats.h"  // ReuseLayerStats lives with the Layer API
 #include "tensor/im2col.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace adr {
-
-/// \brief Cumulative telemetry of a reuse layer, reset with ResetStats().
-struct ReuseLayerStats {
-  int64_t forward_calls = 0;
-  double avg_remaining_ratio = 0.0;  ///< running mean of per-batch r_c
-  double hash_seconds = 0.0;
-  double gemm_seconds = 0.0;
-  double backward_seconds = 0.0;
-  double macs_executed = 0.0;   ///< forward + backward MACs actually done
-  double macs_baseline = 0.0;   ///< 3 * N * K * M per call
-  double last_batch_reuse_rate = 0.0;  ///< R of the most recent batch
-
-  /// Fraction of baseline MACs avoided so far.
-  double MacsSavedFraction() const {
-    return macs_baseline == 0.0 ? 0.0 : 1.0 - macs_executed / macs_baseline;
-  }
-};
 
 /// \brief Convolution layer accelerated by adaptive deep reuse.
 class ReuseConv2d : public Layer {
@@ -82,6 +66,10 @@ class ReuseConv2d : public Layer {
 
   const ReuseLayerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ReuseLayerStats{}; }
+
+  // Layer reuse-telemetry hooks (Network::CollectReuseStats).
+  const ReuseLayerStats* GetReuseStats() const override { return &stats_; }
+  void ResetReuseStats() override { ResetStats(); }
 
   /// \brief Cluster-reuse cache (present whenever CR is enabled).
   const ClusterReuseCache* cache() const { return cache_.get(); }

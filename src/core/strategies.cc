@@ -38,8 +38,11 @@ Result<TrainingRunResult> RunTrainingStrategy(
   ModelOptions build_options = model_options;
   build_options.use_reuse = kind != StrategyKind::kBaseline;
   if (kind == StrategyKind::kFixed || kind == StrategyKind::kClusterReuse) {
-    build_options.reuse = options.fixed_reuse;
-    build_options.reuse.cluster_reuse = kind == StrategyKind::kClusterReuse;
+    ADR_ASSIGN_OR_RETURN(
+        build_options.reuse,
+        ReuseConfigBuilder(options.fixed_reuse)
+            .ClusterReuse(kind == StrategyKind::kClusterReuse)
+            .Build());
   }
   ADR_ASSIGN_OR_RETURN(Model model, BuildModel(model_name, build_options));
 
@@ -96,9 +99,10 @@ Result<TrainingRunResult> RunTrainingStrategy(
         ADR_LOG(Info) << "strategy 3: disabling cluster reuse at step "
                       << step;
         for (ReuseConv2d* layer : model.reuse_layers) {
-          ReuseConfig config = layer->reuse_config();
-          config.cluster_reuse = false;
-          const Status status = layer->SetReuseConfig(config);
+          const Status status =
+              layer->SetReuseConfig(ReuseConfigBuilder(layer->reuse_config())
+                                        .ClusterReuse(false)
+                                        .BuildUnchecked());
           ADR_CHECK(status.ok()) << status.ToString();
         }
         cluster_reuse_active = false;

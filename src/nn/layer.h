@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/reuse_stats.h"
 #include "tensor/tensor.h"
 
 namespace adr {
@@ -49,6 +50,15 @@ class Layer {
   /// the given batch size (0 for negligible layers). Used by the complexity
   /// model and the bench harness.
   virtual double ForwardMacs(int64_t /*batch*/) const { return 0.0; }
+
+  /// \brief Reuse telemetry, or nullptr for layers without reuse. Lets
+  /// Network::CollectReuseStats report savings without downcasting to
+  /// concrete reuse layer types.
+  virtual const ReuseLayerStats* GetReuseStats() const { return nullptr; }
+
+  /// \brief Clears the telemetry returned by GetReuseStats (no-op for
+  /// layers without reuse).
+  virtual void ResetReuseStats() {}
 };
 
 }  // namespace adr

@@ -65,4 +65,19 @@ double Network::ForwardMacs(int64_t batch) const {
   return macs;
 }
 
+std::vector<std::pair<std::string, ReuseLayerStats>>
+Network::CollectReuseStats() const {
+  std::vector<std::pair<std::string, ReuseLayerStats>> stats;
+  for (const auto& layer : layers_) {
+    if (const ReuseLayerStats* s = layer->GetReuseStats()) {
+      stats.emplace_back(layer->name(), *s);
+    }
+  }
+  return stats;
+}
+
+void Network::ResetReuseStats() {
+  for (auto& layer : layers_) layer->ResetReuseStats();
+}
+
 }  // namespace adr

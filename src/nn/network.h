@@ -5,9 +5,11 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/layer.h"
+#include "nn/reuse_stats.h"
 #include "tensor/tensor.h"
 
 namespace adr {
@@ -54,6 +56,15 @@ class Network {
 
   /// \brief Total forward multiply-accumulates for one batch.
   double ForwardMacs(int64_t batch) const;
+
+  /// \brief (layer name, stats) for every layer that exposes reuse
+  /// telemetry, network order. Replaces downcasting to concrete reuse
+  /// layer types in examples and benches.
+  std::vector<std::pair<std::string, ReuseLayerStats>> CollectReuseStats()
+      const;
+
+  /// \brief Clears reuse telemetry on every layer.
+  void ResetReuseStats();
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

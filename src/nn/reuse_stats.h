@@ -1,0 +1,32 @@
+// ReuseLayerStats: telemetry every reuse-capable layer exposes through the
+// Layer interface, so callers can read savings without knowing the
+// concrete layer type (Network::CollectReuseStats).
+
+#ifndef ADR_NN_REUSE_STATS_H_
+#define ADR_NN_REUSE_STATS_H_
+
+#include <cstdint>
+
+namespace adr {
+
+/// \brief Cumulative telemetry of a reuse layer, reset with
+/// Layer::ResetReuseStats().
+struct ReuseLayerStats {
+  int64_t forward_calls = 0;
+  double avg_remaining_ratio = 0.0;  ///< running mean of per-batch r_c
+  double hash_seconds = 0.0;
+  double gemm_seconds = 0.0;
+  double backward_seconds = 0.0;
+  double macs_executed = 0.0;  ///< forward + backward MACs actually done
+  double macs_baseline = 0.0;  ///< 3 * N * K * M per call
+  double last_batch_reuse_rate = 0.0;  ///< R of the most recent batch
+
+  /// Fraction of baseline MACs avoided so far.
+  double MacsSavedFraction() const {
+    return macs_baseline == 0.0 ? 0.0 : 1.0 - macs_executed / macs_baseline;
+  }
+};
+
+}  // namespace adr
+
+#endif  // ADR_NN_REUSE_STATS_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/parallel.h"
+
 namespace adr {
 
 namespace {
@@ -13,15 +15,17 @@ constexpr int64_t kBlockM = 64;
 constexpr int64_t kBlockK = 128;
 constexpr int64_t kBlockN = 256;
 
-}  // namespace
-
-void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
-          int64_t n, bool accumulate) {
+// Computes C rows [row_begin, row_end): the serial blocked kernel over a
+// row slice. Each row's accumulation order is independent of the slice
+// boundaries, so any row partitioning yields bit-identical results.
+void GemmRowSlice(const float* a, const float* b, float* c, int64_t row_begin,
+                  int64_t row_end, int64_t k, int64_t n, bool accumulate) {
   if (!accumulate) {
-    std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
+    std::memset(c + row_begin * n, 0,
+                sizeof(float) * static_cast<size_t>((row_end - row_begin) * n));
   }
-  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const int64_t i1 = std::min(i0 + kBlockM, m);
+  for (int64_t i0 = row_begin; i0 < row_end; i0 += kBlockM) {
+    const int64_t i1 = std::min(i0 + kBlockM, row_end);
     for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
       const int64_t k1 = std::min(k0 + kBlockK, k);
       for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
@@ -42,48 +46,73 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
   }
 }
 
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool accumulate) {
+  // Row-blocked parallelism: each chunk owns a disjoint slice of C rows.
+  // Chunks are multiples of kBlockM so the cache blocking inside a slice
+  // is unchanged from the serial kernel.
+  const int64_t grain =
+      std::max(kBlockM, (GrainForCost(k * n) + kBlockM - 1) / kBlockM * kBlockM);
+  ParallelFor(m, grain, [&](int64_t row_begin, int64_t row_end) {
+    GemmRowSlice(a, b, c, row_begin, row_end, k, n, accumulate);
+  });
+}
+
 void GemmTransA(const float* a, const float* b, float* c, int64_t m,
                 int64_t k, int64_t n, bool accumulate) {
   // A is stored KxM; iterate over rows of A (the k index) so both A and B
-  // are streamed sequentially.
-  if (!accumulate) {
-    std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
-  }
-  for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-    const int64_t k1 = std::min(k0 + kBlockK, k);
-    for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-      const int64_t i1 = std::min(i0 + kBlockM, m);
-      for (int64_t kk = k0; kk < k1; ++kk) {
-        const float* a_row = a + kk * m;
-        const float* b_row = b + kk * n;
-        for (int64_t i = i0; i < i1; ++i) {
-          const float a_ki = a_row[i];
-          if (a_ki == 0.0f) continue;
-          float* c_row = c + i * n;
-          for (int64_t j = 0; j < n; ++j) {
-            c_row[j] += a_ki * b_row[j];
+  // are streamed sequentially. Parallelized over slices of C rows (the i
+  // index): every chunk reads all of A and B but writes a disjoint slice,
+  // and each row's k-accumulation order is chunk-independent.
+  const int64_t grain =
+      std::max(kBlockM, (GrainForCost(k * n) + kBlockM - 1) / kBlockM * kBlockM);
+  ParallelFor(m, grain, [&](int64_t row_begin, int64_t row_end) {
+    if (!accumulate) {
+      std::memset(c + row_begin * n, 0,
+                  sizeof(float) *
+                      static_cast<size_t>((row_end - row_begin) * n));
+    }
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const int64_t k1 = std::min(k0 + kBlockK, k);
+      for (int64_t i0 = row_begin; i0 < row_end; i0 += kBlockM) {
+        const int64_t i1 = std::min(i0 + kBlockM, row_end);
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          const float* a_row = a + kk * m;
+          const float* b_row = b + kk * n;
+          for (int64_t i = i0; i < i1; ++i) {
+            const float a_ki = a_row[i];
+            if (a_ki == 0.0f) continue;
+            float* c_row = c + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+              c_row[j] += a_ki * b_row[j];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 void GemmTransB(const float* a, const float* b, float* c, int64_t m,
                 int64_t k, int64_t n, bool accumulate) {
   // B is stored NxK; each C[i][j] is a dot product of contiguous rows.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* b_row = b + j * k;
-      float sum = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        sum += a_row[kk] * b_row[kk];
+  // Rows of C are independent, so row slices parallelize trivially.
+  ParallelFor(m, GrainForCost(k * n), [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* b_row = b + j * k;
+        float sum = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          sum += a_row[kk] * b_row[kk];
+        }
+        c_row[j] = accumulate ? c_row[j] + sum : sum;
       }
-      c_row[j] = accumulate ? c_row[j] + sum : sum;
     }
-  }
+  });
 }
 
 void GemmReference(const float* a, const float* b, float* c, int64_t m,

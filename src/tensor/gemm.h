@@ -1,6 +1,9 @@
-// Cache-blocked single-threaded GEMM kernels. These are the computational
-// core that deep reuse removes work from, so their absolute efficiency sets
-// the denominator of every reported saving.
+// Cache-blocked GEMM kernels, parallelized over disjoint row slices of C
+// through the shared thread pool (util/parallel.h). These are the
+// computational core that deep reuse removes work from, so their absolute
+// efficiency sets the denominator of every reported saving. Results are
+// bit-identical for any thread count: chunk boundaries depend only on the
+// problem shape and each output row's accumulation order is fixed.
 
 #ifndef ADR_TENSOR_GEMM_H_
 #define ADR_TENSOR_GEMM_H_

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "util/parallel.h"
+
 namespace adr {
 
 Status ConvGeometry::Validate() const {
@@ -40,29 +42,36 @@ void Im2Col(const ConvGeometry& geo, const Tensor& input, Tensor* out) {
       << "Im2Col output shape " << out->shape().ToString();
 
   const float* in = input.data();
-  float* dst = out->data();
+  float* out_data = out->data();
   const int64_t ih = geo.in_height, iw = geo.in_width;
   const int64_t chan_stride = ih * iw;
+  const int64_t rows_per_image = geo.rows_per_image();
 
-  for (int64_t n = 0; n < geo.batch; ++n) {
-    const float* img = in + n * geo.in_channels * chan_stride;
-    for (int64_t oy = 0; oy < oh; ++oy) {
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        // One output row: all (c, ky, kx) taps of this receptive field.
-        for (int64_t c = 0; c < geo.in_channels; ++c) {
-          const float* chan = img + c * chan_stride;
-          for (int64_t ky = 0; ky < geo.kernel_h; ++ky) {
-            const int64_t y = oy * geo.stride + ky - geo.pad;
-            for (int64_t kx = 0; kx < geo.kernel_w; ++kx) {
-              const int64_t x = ox * geo.stride + kx - geo.pad;
-              const bool inside = y >= 0 && y < ih && x >= 0 && x < iw;
-              *dst++ = inside ? chan[y * iw + x] : 0.0f;
+  // Per-image parallelism: image n fills exactly the row block
+  // [n * rows_per_image, (n+1) * rows_per_image) of the unfolded matrix,
+  // so chunks write disjoint ranges.
+  ParallelFor(geo.batch, 1, [&](int64_t n_begin, int64_t n_end) {
+    for (int64_t n = n_begin; n < n_end; ++n) {
+      const float* img = in + n * geo.in_channels * chan_stride;
+      float* dst = out_data + n * rows_per_image * k_cols;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          // One output row: all (c, ky, kx) taps of this receptive field.
+          for (int64_t c = 0; c < geo.in_channels; ++c) {
+            const float* chan = img + c * chan_stride;
+            for (int64_t ky = 0; ky < geo.kernel_h; ++ky) {
+              const int64_t y = oy * geo.stride + ky - geo.pad;
+              for (int64_t kx = 0; kx < geo.kernel_w; ++kx) {
+                const int64_t x = ox * geo.stride + kx - geo.pad;
+                const bool inside = y >= 0 && y < ih && x >= 0 && x < iw;
+                *dst++ = inside ? chan[y * iw + x] : 0.0f;
+              }
             }
           }
         }
       }
     }
-  }
+  });
 }
 
 void Col2Im(const ConvGeometry& geo, const Tensor& grad_cols,
@@ -75,30 +84,36 @@ void Col2Im(const ConvGeometry& geo, const Tensor& grad_cols,
             Shape({geo.batch, geo.in_channels, geo.in_height, geo.in_width}));
 
   grad_input->SetZero();
-  const float* src = grad_cols.data();
+  const float* src_data = grad_cols.data();
   float* out = grad_input->data();
   const int64_t ih = geo.in_height, iw = geo.in_width;
   const int64_t chan_stride = ih * iw;
+  const int64_t cols_per_image = geo.rows_per_image() * geo.unfolded_cols();
 
-  for (int64_t n = 0; n < geo.batch; ++n) {
-    float* img = out + n * geo.in_channels * chan_stride;
-    for (int64_t oy = 0; oy < oh; ++oy) {
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        for (int64_t c = 0; c < geo.in_channels; ++c) {
-          float* chan = img + c * chan_stride;
-          for (int64_t ky = 0; ky < geo.kernel_h; ++ky) {
-            const int64_t y = oy * geo.stride + ky - geo.pad;
-            for (int64_t kx = 0; kx < geo.kernel_w; ++kx) {
-              const int64_t x = ox * geo.stride + kx - geo.pad;
-              const bool inside = y >= 0 && y < ih && x >= 0 && x < iw;
-              if (inside) chan[y * iw + x] += *src;
-              ++src;
+  // Per-image parallelism: patches only overlap within one image, so each
+  // chunk accumulates into a disjoint [Ic, Ih, Iw] slab.
+  ParallelFor(geo.batch, 1, [&](int64_t n_begin, int64_t n_end) {
+    for (int64_t n = n_begin; n < n_end; ++n) {
+      float* img = out + n * geo.in_channels * chan_stride;
+      const float* src = src_data + n * cols_per_image;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          for (int64_t c = 0; c < geo.in_channels; ++c) {
+            float* chan = img + c * chan_stride;
+            for (int64_t ky = 0; ky < geo.kernel_h; ++ky) {
+              const int64_t y = oy * geo.stride + ky - geo.pad;
+              for (int64_t kx = 0; kx < geo.kernel_w; ++kx) {
+                const int64_t x = ox * geo.stride + kx - geo.pad;
+                const bool inside = y >= 0 && y < ih && x >= 0 && x < iw;
+                if (inside) chan[y * iw + x] += *src;
+                ++src;
+              }
             }
           }
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace adr

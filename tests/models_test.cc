@@ -147,6 +147,40 @@ TEST(BuildModelTest, ReuseModeBuildsReuseLayers) {
   EXPECT_EQ(out.shape(), Shape({2, 4}));
 }
 
+TEST(BuildModelTest, NetworkCollectsReuseStats) {
+  ModelOptions options = TinyOptions();
+  options.use_reuse = true;
+  options.reuse.num_hashes = 8;
+  auto model = BuildModel("cifarnet", options);
+  ASSERT_TRUE(model.ok());
+
+  // Before any forward pass: one entry per reuse layer, all zeroed.
+  auto stats = model->network.CollectReuseStats();
+  ASSERT_EQ(stats.size(), model->reuse_layers.size());
+  for (const auto& [name, s] : stats) EXPECT_EQ(s.forward_calls, 0);
+
+  Rng rng(4);
+  Tensor in = Tensor::RandomGaussian(Shape({2, 3, 32, 32}), &rng);
+  model->network.Forward(in, true);
+  stats = model->network.CollectReuseStats();
+  for (size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].first, model->reuse_layers[i]->name());
+    EXPECT_EQ(stats[i].second.forward_calls, 1);
+    EXPECT_GT(stats[i].second.macs_baseline, 0.0);
+  }
+
+  model->network.ResetReuseStats();
+  for (const auto& [name, s] : model->network.CollectReuseStats()) {
+    EXPECT_EQ(s.forward_calls, 0);
+    EXPECT_EQ(s.macs_baseline, 0.0);
+  }
+
+  // Dense models expose no reuse telemetry.
+  auto dense = BuildModel("cifarnet", TinyOptions());
+  ASSERT_TRUE(dense.ok());
+  EXPECT_TRUE(dense->network.CollectReuseStats().empty());
+}
+
 TEST(BuildModelTest, ReuseConfigClampedPerLayer) {
   ModelOptions options = TinyOptions();
   options.use_reuse = true;

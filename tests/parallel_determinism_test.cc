@@ -1,0 +1,116 @@
+// Bitwise determinism of the parallel kernels: the same inputs must give
+// bit-identical results with 1, 2, and 8 worker threads. This is the
+// contract that makes the thread count a pure performance knob — training
+// runs are reproducible on any machine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/reuse_conv2d.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(ThreadPool::GlobalThreads()) {}
+  ~ThreadCountGuard() { ThreadPool::SetGlobalThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b, const char* what,
+                        int threads) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    ASSERT_EQ(pa[i], pb[i])
+        << what << " differs at " << i << " with " << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, GemmBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const int64_t n = 300, k = 123, m = 77;
+  Rng rng(31);
+  Tensor a = Tensor::RandomGaussian(Shape({n, k}), &rng);
+  Tensor b = Tensor::RandomGaussian(Shape({k, m}), &rng);
+
+  ThreadPool::SetGlobalThreads(1);
+  Tensor reference(Shape({n, m}));
+  Gemm(a.data(), b.data(), reference.data(), n, k, m);
+
+  for (const int threads : kThreadCounts) {
+    ThreadPool::SetGlobalThreads(threads);
+    Tensor c(Shape({n, m}));
+    Gemm(a.data(), b.data(), c.data(), n, k, m);
+    ExpectBitIdentical(c, reference, "Gemm", threads);
+
+    Tensor ta(Shape({k, k}));
+    GemmTransA(a.data(), a.data(), ta.data(), k, n, k);
+    ThreadPool::SetGlobalThreads(1);
+    Tensor ta_ref(Shape({k, k}));
+    GemmTransA(a.data(), a.data(), ta_ref.data(), k, n, k);
+    ExpectBitIdentical(ta, ta_ref, "GemmTransA", threads);
+  }
+}
+
+// Runs one forward + backward on a fresh, identically seeded layer and
+// returns (output, grad_input, grad_weight, grad_bias).
+std::vector<Tensor> RunReuseLayer(const Tensor& input,
+                                  const Tensor& grad_out) {
+  Conv2dConfig conv;
+  conv.in_channels = 3;
+  conv.out_channels = 8;
+  conv.kernel = 3;
+  conv.stride = 1;
+  conv.pad = 1;
+  conv.in_height = 8;
+  conv.in_width = 8;
+  ReuseConfig reuse = ReuseConfigBuilder()
+                          .SubVectorLength(9)
+                          .NumHashes(10)
+                          .ClusterReuse(true)
+                          .BuildUnchecked();
+  Rng rng(91);
+  ReuseConv2d layer("conv", conv, reuse, &rng);
+
+  std::vector<Tensor> result;
+  result.push_back(layer.Forward(input, /*training=*/true));
+  result.push_back(layer.Backward(grad_out));
+  result.push_back(*layer.Gradients()[0]);
+  result.push_back(*layer.Gradients()[1]);
+  return result;
+}
+
+TEST(ParallelDeterminismTest, ReuseConv2dBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(47);
+  Tensor input = Tensor::RandomGaussian(Shape({4, 3, 8, 8}), &rng);
+  Tensor grad_out = Tensor::RandomGaussian(Shape({4, 8, 8, 8}), &rng);
+
+  ThreadPool::SetGlobalThreads(1);
+  const std::vector<Tensor> reference = RunReuseLayer(input, grad_out);
+  const char* names[] = {"output", "grad_input", "grad_weight", "grad_bias"};
+
+  for (const int threads : kThreadCounts) {
+    ThreadPool::SetGlobalThreads(threads);
+    const std::vector<Tensor> run = RunReuseLayer(input, grad_out);
+    ASSERT_EQ(run.size(), reference.size());
+    for (size_t i = 0; i < run.size(); ++i) {
+      ExpectBitIdentical(run[i], reference[i], names[i], threads);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adr

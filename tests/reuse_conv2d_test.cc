@@ -109,6 +109,40 @@ TEST(ReuseConv2dTest, SetReuseConfigValidates) {
   EXPECT_EQ(layer.reuse_config().sub_vector_length, 9);
 }
 
+TEST(ReuseConv2dTest, ReuseConfigBuilderValidates) {
+  // Build() catches geometry-independent errors.
+  EXPECT_FALSE(ReuseConfigBuilder().NumHashes(0).Build().ok());
+  EXPECT_FALSE(ReuseConfigBuilder()
+                   .KMeans(/*clusters=*/0, /*iterations=*/5)
+                   .Build()
+                   .ok());
+  EXPECT_FALSE(ReuseConfigBuilder()
+                   .KMeans(/*clusters=*/16, /*iterations=*/5)
+                   .ClusterReuse(true)
+                   .Build()
+                   .ok());
+  // Build(k) additionally checks L against K.
+  EXPECT_TRUE(ReuseConfigBuilder().SubVectorLength(100).Build().ok());
+  EXPECT_FALSE(ReuseConfigBuilder().SubVectorLength(100).Build(18).ok());
+
+  auto config = ReuseConfigBuilder()
+                    .SubVectorLength(9)
+                    .NumHashes(10)
+                    .Scope(ClusterScope::kAcrossBatch)
+                    .Build(18);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->sub_vector_length, 9);
+  EXPECT_EQ(config->num_hashes, 10);
+  EXPECT_TRUE(config->ClusterReuseEnabled());
+
+  // Builder seeded from an existing config only changes what it is told.
+  const ReuseConfig flipped =
+      ReuseConfigBuilder(PreciseReuse()).ClusterReuse(true).BuildUnchecked();
+  ReuseConfig expected = PreciseReuse();
+  expected.cluster_reuse = true;
+  EXPECT_EQ(flipped, expected);
+}
+
 TEST(ReuseConv2dTest, ConfigChangeTakesEffect) {
   Rng rng(8);
   ReuseConv2d layer("conv", SmallConv(), PreciseReuse(), &rng);
