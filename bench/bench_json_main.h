@@ -1,0 +1,70 @@
+// Shared main() for the google-benchmark micro benches: runs the normal
+// console report and additionally captures every run into a
+// BenchJsonEmitter, writing the suite's schema-versioned
+// BENCH_<suite>.json (see util/bench_json.h for the schema and
+// scripts/check_bench_regression.py for the consumer).
+
+#ifndef ADR_BENCH_BENCH_JSON_MAIN_H_
+#define ADR_BENCH_BENCH_JSON_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/bench_json.h"
+
+namespace adr::bench {
+
+/// Console reporter that also records each successful non-aggregate run.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(BenchJsonEmitter* emitter)
+      : emitter_(emitter) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      BenchRecord record;
+      record.name = run.benchmark_name();
+      record.iterations = static_cast<int64_t>(run.iterations);
+      // Per-iteration times; the benches use the default ns time unit.
+      record.real_time_ns = run.GetAdjustedRealTime();
+      record.cpu_time_ns = run.GetAdjustedCPUTime();
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        record.items_per_second = items->second.value;
+      }
+      emitter_->Add(std::move(record));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  BenchJsonEmitter* emitter_;
+};
+
+/// \brief Drop-in replacement for BENCHMARK_MAIN(): runs the registered
+/// benchmarks, then writes BENCH_<suite>.json (path overridable via
+/// ADR_BENCH_JSON_DIR). Returns the process exit code.
+inline int RunBenchmarksWithJson(int argc, char** argv,
+                                 const std::string& suite) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchJsonEmitter emitter(suite);
+  JsonCaptureReporter reporter(&emitter);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string path = BenchJsonEmitter::DefaultPath(suite);
+  if (const Status status = emitter.WriteFile(path); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu record(s) to %s\n", emitter.size(), path.c_str());
+  return 0;
+}
+
+}  // namespace adr::bench
+
+#endif  // ADR_BENCH_BENCH_JSON_MAIN_H_

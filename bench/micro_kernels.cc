@@ -10,6 +10,7 @@
 
 #include <array>
 
+#include "bench_json_main.h"
 #include "core/clustered_matmul.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
@@ -200,4 +201,6 @@ BENCHMARK(BM_ClusteredForward)->Apply(ClusteredForwardArgs);
 }  // namespace
 }  // namespace adr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return adr::bench::RunBenchmarksWithJson(argc, argv, "micro_kernels");
+}

@@ -10,6 +10,7 @@
 
 #include <array>
 
+#include "bench_json_main.h"
 #include "clustering/exact_dedup.h"
 #include "core/clustered_matmul.h"
 #include "core/reuse_backward.h"
@@ -174,4 +175,6 @@ BENCHMARK(BM_ExactDedup)->Apply(ThreadsOnlyArgs);
 }  // namespace
 }  // namespace adr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return adr::bench::RunBenchmarksWithJson(argc, argv, "micro_reuse");
+}

@@ -2,17 +2,39 @@
 // over a stream of batches with CR on. Watch the per-batch reuse rate R
 // climb as the signature cache warms and computation drains away.
 //
-// Usage: ./build/examples/cross_batch_reuse
+// Usage: ./build/examples/cross_batch_reuse [--metrics-out m.json]
+//                                           [--trace-out t.json]
 
 #include <cstdio>
+#include <string>
 
 #include "core/reuse_conv2d.h"
 #include "data/dataloader.h"
 #include "data/synthetic_images.h"
+#include "util/flags.h"
+#include "util/metrics_registry.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adr;
+
+  std::string metrics_out;
+  std::string trace_out;
+  FlagSet flags;
+  flags.AddString("metrics-out", &metrics_out,
+                  "write a MetricsRegistry JSON dump to this path");
+  flags.AddString("trace-out", &trace_out,
+                  "write a Chrome/Perfetto trace JSON to this path");
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (!trace_out.empty()) {
+    Tracer::Global().SetCurrentThreadName("main");
+    Tracer::Global().SetEnabled(true);
+  }
 
   SyntheticImageConfig data_config =
       SyntheticImageConfig::CifarLike(512, 77);
@@ -62,5 +84,24 @@ int main() {
       "\nCumulative cluster reuse rate: %.3f (paper reports R -> ~0.98 "
       "after ~20 batches on CifarNet)\n",
       layer.cache()->ReuseRate());
+
+  if (!metrics_out.empty()) {
+    if (const Status status =
+            MetricsRegistry::Global().WriteJsonFile(metrics_out);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    Tracer::Global().SetEnabled(false);
+    if (const Status status = Tracer::Global().WriteJsonFile(trace_out);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
   return 0;
 }

@@ -4,6 +4,8 @@
 //
 // Usage: ./build/examples/train_adaptive [--model cifarnet|alexnet|vgg19]
 //                                        [--threads T]
+//                                        [--metrics-out m.json]
+//                                        [--trace-out t.json]
 
 #include <cstdio>
 #include <cstring>
@@ -11,17 +13,25 @@
 #include "core/strategies.h"
 #include "data/synthetic_images.h"
 #include "util/flags.h"
+#include "util/metrics_registry.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 int main(int argc, char** argv) {
   using namespace adr;
 
   std::string model_name = "cifarnet";
   int64_t threads = 0;
+  std::string metrics_out;
+  std::string trace_out;
   FlagSet flags;
   flags.AddString("model", &model_name, "cifarnet, alexnet, or vgg19");
   flags.AddInt64("threads", &threads,
                  "worker threads (0 = ADR_THREADS or hardware concurrency)");
+  flags.AddString("metrics-out", &metrics_out,
+                  "write a MetricsRegistry JSON dump to this path");
+  flags.AddString("trace-out", &trace_out,
+                  "write a Chrome/Perfetto trace JSON to this path");
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
                  flags.Usage(argv[0]).c_str());
@@ -29,6 +39,10 @@ int main(int argc, char** argv) {
   }
   if (threads > 0) ThreadPool::SetGlobalThreads(static_cast<int>(threads));
   std::printf("using %d thread(s)\n", ThreadPool::GlobalThreads());
+  if (!trace_out.empty()) {
+    Tracer::Global().SetCurrentThreadName("main");
+    Tracer::Global().SetEnabled(true);
+  }
 
   SyntheticImageConfig data_config = SyntheticImageConfig::CifarLike(
       /*num_samples=*/512, /*seed=*/11);
@@ -113,6 +127,25 @@ int main(int argc, char** argv) {
   std::printf("\naccuracy trace (step, accuracy):\n");
   for (const auto& [step, accuracy] : adaptive->eval_history) {
     std::printf("  %4lld  %.3f\n", static_cast<long long>(step), accuracy);
+  }
+
+  if (!metrics_out.empty()) {
+    if (const Status status =
+            MetricsRegistry::Global().WriteJsonFile(metrics_out);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    Tracer::Global().SetEnabled(false);
+    if (const Status status = Tracer::Global().WriteJsonFile(trace_out);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", trace_out.c_str());
   }
   return 0;
 }

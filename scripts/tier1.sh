@@ -1,36 +1,50 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, run the test suite at 1 and 4 worker
-# threads, then exercise the concurrency-heavy tests under
-# ThreadSanitizer.
+# Tier-1 verification: build, run the test suite at each thread count in
+# $ADR_TIER1_THREADS (default "1 4"), then exercise the concurrency-heavy
+# tests under ThreadSanitizer.
 #
-# Usage: scripts/tier1.sh [--no-tsan]
+# The TSan test list lives in scripts/tsan_tests.txt — the same file the
+# tsan_suite CMake target and CI read, so the three can never drift.
+#
+# Usage: scripts/tier1.sh [--no-tsan | --tsan-only]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+RUN_BUILD=1
 RUN_TSAN=1
-if [[ "${1:-}" == "--no-tsan" ]]; then
-  RUN_TSAN=0
+case "${1:-}" in
+  --no-tsan) RUN_TSAN=0 ;;
+  --tsan-only) RUN_BUILD=0 ;;
+  "") ;;
+  *)
+    echo "usage: scripts/tier1.sh [--no-tsan | --tsan-only]" >&2
+    exit 2
+    ;;
+esac
+
+# Strip comments/blanks from the shared TSan test list.
+mapfile -t TSAN_TESTS < <(sed -e 's/#.*//' -e 's/[[:space:]]*$//' \
+                              -e '/^$/d' scripts/tsan_tests.txt)
+
+if [[ "$RUN_BUILD" == "1" ]]; then
+  echo "== configure + build =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j
+
+  for threads in ${ADR_TIER1_THREADS:-1 4}; do
+    echo "== ctest, ADR_THREADS=$threads =="
+    ADR_THREADS="$threads" ctest --test-dir build --output-on-failure -j
+  done
 fi
 
-echo "== configure + build =="
-cmake -B build -S . >/dev/null
-cmake --build build -j
-
-echo "== ctest, ADR_THREADS=1 =="
-ADR_THREADS=1 ctest --test-dir build --output-on-failure -j
-
-echo "== ctest, ADR_THREADS=4 =="
-ADR_THREADS=4 ctest --test-dir build --output-on-failure -j
-
 if [[ "$RUN_TSAN" == "1" ]]; then
-  echo "== ThreadSanitizer: clustering + matmul + gemm + parallel =="
+  echo "== ThreadSanitizer: ${TSAN_TESTS[*]} =="
+  # Configure is cheap and reuses the CMake cache; the build tree's object
+  # files survive across runs, so only changed sources recompile.
   cmake -B build-tsan -S . -DADR_TSAN=ON >/dev/null
-  cmake --build build-tsan -j --target \
-    parallel_test parallel_determinism_test gemm_test clustering_test \
-    clustered_matmul_test
-  for t in parallel_test parallel_determinism_test gemm_test \
-           clustering_test clustered_matmul_test; do
+  cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
+  for t in "${TSAN_TESTS[@]}"; do
     echo "-- tsan: $t"
     ADR_THREADS=4 "./build-tsan/tests/$t" >/dev/null
   done

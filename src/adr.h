@@ -41,7 +41,9 @@
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
 #include "util/flags.h"
+#include "util/metrics_registry.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 #endif  // ADR_ADR_H_

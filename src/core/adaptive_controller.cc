@@ -4,6 +4,8 @@
 
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/metrics_registry.h"
+#include "util/trace.h"
 
 namespace adr {
 
@@ -56,6 +58,10 @@ Status AdaptiveController::Init() {
   stage_ = 0;
   steps_in_stage_ = 0;
   ApplyStage(0);
+  MetricsRegistry::Global().gauge("adaptive/stage")->Set(0.0);
+  MetricsRegistry::Global()
+      .gauge("adaptive/num_stages")
+      ->Set(static_cast<double>(num_stages()));
   return Status::OK();
 }
 
@@ -103,6 +109,9 @@ bool AdaptiveController::Step(double train_loss, double train_accuracy,
       Exhausted()) {
     return false;
   }
+  ADR_TRACE_SPAN("AdaptiveController::AdvanceStage");
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.counter("adaptive/plateaus")->Increment();
 
   // Probe the current setting once (A_cur).
   const double a_cur = probe();
@@ -155,6 +164,9 @@ bool AdaptiveController::Step(double train_loss, double train_accuracy,
   ApplyStage(stage_);
   steps_in_stage_ = 0;
   plateau_.Reset();
+  metrics.counter("adaptive/stage_advances")->Increment();
+  metrics.gauge("adaptive/stage")->Set(static_cast<double>(stage_));
+  metrics.gauge("adaptive/probe_accuracy")->Set(a_accepted);
   return true;
 }
 

@@ -7,8 +7,10 @@
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/metrics_registry.h"
 #include "util/parallel.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace adr {
 
@@ -109,11 +111,16 @@ ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
   ADR_CHECK_EQ(weight.shape()[0], k);
   const int64_t m = weight.shape()[1];
 
+  ADR_TRACE_SPAN("ClusteredMatmulForward");
   ForwardReuseResult result;
   Timer timer;
 
   // 1. Cluster all column blocks (hashing + grouping + centroids).
-  result.clustering = ClusterSubVectors(families, x, num_rows, rows_per_group);
+  {
+    ADR_TRACE_SPAN("lsh_cluster");
+    result.clustering =
+        ClusterSubVectors(families, x, num_rows, rows_per_group);
+  }
   result.stats.hash_seconds = timer.ElapsedSeconds();
 
   result.y_rows = Tensor(Shape({num_rows, m}));
@@ -123,6 +130,7 @@ ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
   int64_t batch_reused = 0;
 
   timer.Reset();
+  ADR_TRACE_SPAN("centroid_gemm_scatter");
   for (size_t bi = 0; bi < result.clustering.blocks.size(); ++bi) {
     SubMatrixClustering& block = result.clustering.blocks[bi];
     const int64_t num_clusters = block.clustering.num_clusters();
@@ -232,6 +240,13 @@ ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
       batch_clusters == 0 ? 0.0
                           : static_cast<double>(batch_reused) /
                                 static_cast<double>(batch_clusters);
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.counter("core/clustered_forwards")->Increment();
+  metrics.counter("core/clusters_total")->Increment(batch_clusters);
+  metrics.counter("core/clusters_reused")->Increment(batch_reused);
+  metrics.histogram("core/hash_seconds")->Record(result.stats.hash_seconds);
+  metrics.histogram("core/gemm_seconds")->Record(result.stats.gemm_seconds);
   return result;
 }
 
@@ -247,6 +262,7 @@ ForwardReuseResult KMeansMatmulForward(
   const int64_t length =
       sub_vector_length <= 0 || sub_vector_length > k ? k : sub_vector_length;
 
+  ADR_TRACE_SPAN("KMeansMatmulForward");
   ForwardReuseResult result;
   Timer timer;
   result.clustering.num_rows = num_rows;

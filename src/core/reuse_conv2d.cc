@@ -2,17 +2,23 @@
 
 #include <cmath>
 
+#include "core/complexity_model.h"
 #include "core/reuse_backward.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/metrics_registry.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace adr {
 
 ReuseConv2d::ReuseConv2d(std::string name, const Conv2dConfig& config,
                          const ReuseConfig& reuse, Rng* rng)
-    : name_(std::move(name)), config_(config), reuse_(reuse) {
+    : name_(std::move(name)),
+      metric_prefix_("reuse/" + name_ + "/"),
+      config_(config),
+      reuse_(reuse) {
   const int64_t k = unfolded_cols();
   const int64_t m = config_.out_channels;
   ADR_CHECK_GT(k, 0);
@@ -66,13 +72,21 @@ ConvGeometry ReuseConv2d::Geometry(int64_t batch) const {
 }
 
 Tensor ReuseConv2d::Forward(const Tensor& input, bool /*training*/) {
+  ADR_TRACE_SPAN("ReuseConv2d::Forward");
   const int64_t batch = input.shape()[0];
   const ConvGeometry geo = Geometry(batch);
   const int64_t n = geo.unfolded_rows();
   const int64_t k = geo.unfolded_cols();
 
   Tensor cols(Shape({n, k}));
-  Im2Col(geo, input, &cols);
+  {
+    ADR_TRACE_SPAN("im2col");
+    Timer im2col_timer;
+    Im2Col(geo, input, &cols);
+    MetricsRegistry::Global()
+        .histogram(metric_prefix_ + "im2col_seconds")
+        ->Record(im2col_timer.ElapsedSeconds());
+  }
   cached_batch_ = batch;
 
   if (!reuse_.enabled) {
@@ -86,6 +100,9 @@ Tensor ReuseConv2d::Forward(const Tensor& input, bool /*training*/) {
     ++stats_.forward_calls;
     stats_.macs_executed += static_cast<double>(n) * k * m;
     stats_.macs_baseline += static_cast<double>(n) * k * m;
+    MetricsRegistry& metrics = MetricsRegistry::Global();
+    metrics.counter(metric_prefix_ + "forward_calls")->Increment();
+    metrics.gauge(metric_prefix_ + "enabled")->Set(0.0);
     return RowsToNchw(y_rows, batch, m, geo.out_height(), geo.out_width());
   }
 
@@ -117,12 +134,50 @@ Tensor ReuseConv2d::Forward(const Tensor& input, bool /*training*/) {
   stats_.macs_executed += fs.macs_hash + fs.macs_gemm + fs.macs_scatter;
   stats_.macs_baseline += fs.macs_baseline;
   stats_.last_batch_reuse_rate = fs.batch_reuse_rate;
+  PublishForwardMetrics(fs);
 
   return RowsToNchw(forward.y_rows, batch, config_.out_channels,
                     geo.out_height(), geo.out_width());
 }
 
+void ReuseConv2d::PublishForwardMetrics(const ForwardReuseStats& fs) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.counter(metric_prefix_ + "forward_calls")->Increment();
+  metrics.gauge(metric_prefix_ + "enabled")->Set(1.0);
+  metrics.gauge(metric_prefix_ + "r_c")->Set(fs.avg_remaining_ratio);
+  metrics.gauge(metric_prefix_ + "reuse_rate")->Set(fs.batch_reuse_rate);
+  metrics.gauge(metric_prefix_ + "clusters")
+      ->Set(static_cast<double>(fs.clusters_total));
+  metrics.counter(metric_prefix_ + "clusters_reused")
+      ->Increment(fs.clusters_reused);
+  metrics.histogram(metric_prefix_ + "hash_seconds")
+      ->Record(fs.hash_seconds);
+  metrics.histogram(metric_prefix_ + "gemm_seconds")
+      ->Record(fs.gemm_seconds);
+
+  // Predicted (Eq. 5, or Eq. 6 under cluster reuse) vs measured relative
+  // forward cost, both against the dense N*K*M baseline of this batch.
+  ComplexityParams params;
+  params.k = unfolded_cols();
+  params.m = config_.out_channels;
+  params.l = reuse_.EffectiveLength(params.k);
+  params.h = reuse_.num_hashes;
+  params.rc = fs.avg_remaining_ratio;
+  params.reuse_rate = fs.batch_reuse_rate;
+  const double predicted = reuse_.ClusterReuseEnabled()
+                               ? ForwardRelativeCostClusterReuse(params)
+                               : ForwardRelativeCost(params);
+  const double measured =
+      fs.macs_baseline == 0.0
+          ? 0.0
+          : (fs.macs_hash + fs.macs_gemm + fs.macs_scatter) /
+                fs.macs_baseline;
+  metrics.gauge(metric_prefix_ + "forward_cost_predicted")->Set(predicted);
+  metrics.gauge(metric_prefix_ + "forward_cost_measured")->Set(measured);
+}
+
 Tensor ReuseConv2d::Backward(const Tensor& grad_output) {
+  ADR_TRACE_SPAN("ReuseConv2d::Backward");
   ADR_CHECK_GT(cached_batch_, 0) << "Backward before Forward";
   const ConvGeometry geo = Geometry(cached_batch_);
   const int64_t n = geo.unfolded_rows();
@@ -142,9 +197,13 @@ Tensor ReuseConv2d::Backward(const Tensor& grad_output) {
     grad_bias_ = ColumnSums(dy);
     dx_cols = Tensor(Shape({n, k}));
     GemmTransB(dy.data(), weight_.data(), dx_cols.data(), n, m, k);
-    stats_.backward_seconds += timer.ElapsedSeconds();
+    const double seconds = timer.ElapsedSeconds();
+    stats_.backward_seconds += seconds;
     stats_.macs_executed += 2.0 * static_cast<double>(n) * k * m;
     stats_.macs_baseline += 2.0 * static_cast<double>(n) * k * m;
+    MetricsRegistry::Global()
+        .histogram(metric_prefix_ + "backward_seconds")
+        ->Record(seconds);
   } else {
     BackwardReuseResult backward =
         ReuseBackward(cached_clustering_, weight_, dy);
@@ -154,6 +213,9 @@ Tensor ReuseConv2d::Backward(const Tensor& grad_output) {
     stats_.backward_seconds += backward.stats.seconds;
     stats_.macs_executed += backward.stats.macs;
     stats_.macs_baseline += backward.stats.macs_baseline;
+    MetricsRegistry::Global()
+        .histogram(metric_prefix_ + "backward_seconds")
+        ->Record(backward.stats.seconds);
   }
 
   Tensor grad_input(Shape({cached_batch_, config_.in_channels,

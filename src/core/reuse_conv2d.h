@@ -77,6 +77,7 @@ class ReuseConv2d : public Layer {
 
  private:
   std::string name_;
+  std::string metric_prefix_;  ///< "reuse/<name>/", see PublishMetrics
   Conv2dConfig config_;
   ReuseConfig reuse_;
   Tensor weight_;       ///< [K, M]
@@ -96,6 +97,11 @@ class ReuseConv2d : public Layer {
   ReuseLayerStats stats_;
 
   void RebuildFamilies();
+
+  /// Publishes the layer's per-batch telemetry (r_c, reuse rate R,
+  /// cluster count, phase wall-times, predicted-vs-measured Eq. 5/6
+  /// forward cost) into MetricsRegistry::Global() under metric_prefix_.
+  void PublishForwardMetrics(const ForwardReuseStats& stats);
 };
 
 }  // namespace adr

@@ -8,7 +8,9 @@
 #include "nn/trainer.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/metrics_registry.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace adr {
 
@@ -34,6 +36,7 @@ Result<TrainingRunResult> RunTrainingStrategy(
       options.eval_every <= 0) {
     return Status::InvalidArgument("training run options must be positive");
   }
+  ADR_TRACE_SPAN("RunTrainingStrategy");
 
   ModelOptions build_options = model_options;
   build_options.use_reuse = kind != StrategyKind::kBaseline;
@@ -141,6 +144,15 @@ Result<TrainingRunResult> RunTrainingStrategy(
       result.final_reuse_rate = layer->stats().last_batch_reuse_rate;
     }
   }
+
+  const std::string prefix =
+      "run/" + std::string(StrategyKindToString(kind)) + "/";
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.counter(prefix + "runs")->Increment();
+  metrics.gauge(prefix + "final_accuracy")->Set(result.final_accuracy);
+  metrics.gauge(prefix + "wall_seconds")->Set(result.wall_seconds);
+  metrics.gauge(prefix + "macs_saved_fraction")
+      ->Set(result.MacsSavedFraction());
   return result;
 }
 

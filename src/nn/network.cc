@@ -1,10 +1,12 @@
 #include "nn/network.h"
 
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace adr {
 
 Tensor Network::Forward(const Tensor& input, bool training) {
+  ADR_TRACE_SPAN("Network::Forward");
   ADR_CHECK(!layers_.empty());
   Tensor current = input;
   for (auto& layer : layers_) {
@@ -14,6 +16,7 @@ Tensor Network::Forward(const Tensor& input, bool training) {
 }
 
 Tensor Network::Backward(const Tensor& grad_output) {
+  ADR_TRACE_SPAN("Network::Backward");
   ADR_CHECK(!layers_.empty());
   Tensor current = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

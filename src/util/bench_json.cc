@@ -1,0 +1,59 @@
+#include "util/bench_json.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/json_writer.h"
+
+namespace adr {
+
+std::string BenchJsonEmitter::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(kBenchJsonSchemaVersion);
+  w.Key("suite");
+  w.String(suite_);
+  w.Key("records");
+  w.BeginArray();
+  for (const BenchRecord& record : records_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(record.name);
+    w.Key("iterations");
+    w.Int(record.iterations);
+    w.Key("real_time_ns");
+    w.Double(record.real_time_ns);
+    w.Key("cpu_time_ns");
+    w.Double(record.cpu_time_ns);
+    w.Key("items_per_second");
+    w.Double(record.items_per_second);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Status BenchJsonEmitter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open bench file: " + path);
+  }
+  file << ToJson() << "\n";
+  file.close();
+  if (!file) {
+    return Status::Internal("failed writing bench file: " + path);
+  }
+  return Status::OK();
+}
+
+std::string BenchJsonEmitter::DefaultPath(const std::string& suite) {
+  const char* dir = std::getenv("ADR_BENCH_JSON_DIR");
+  const std::string prefix = dir != nullptr && *dir != '\0'
+                                 ? std::string(dir) + "/"
+                                 : std::string();
+  return prefix + "BENCH_" + suite + ".json";
+}
+
+}  // namespace adr

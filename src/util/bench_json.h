@@ -1,0 +1,56 @@
+// BenchJsonEmitter: schema-versioned JSON result files for the micro
+// benches (BENCH_micro_kernels.json, BENCH_micro_reuse.json). The files
+// are the repo's benchmark trajectory: scripts/check_bench_regression.py
+// diffs two of them with a noise threshold, and CI diffs a fresh run
+// against the checked-in baseline at the repo root.
+
+#ifndef ADR_UTIL_BENCH_JSON_H_
+#define ADR_UTIL_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adr {
+
+/// Bump when the emitted structure changes shape; the regression checker
+/// refuses to compare files of different versions.
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
+/// \brief One benchmark measurement (per-iteration times in nanoseconds).
+struct BenchRecord {
+  std::string name;  ///< full benchmark name, args included
+  int64_t iterations = 0;
+  double real_time_ns = 0.0;
+  double cpu_time_ns = 0.0;
+  double items_per_second = 0.0;  ///< 0 when the bench reports no items
+};
+
+/// \brief Collects BenchRecords and writes the suite's JSON file:
+/// {"schema_version":1,"suite":"micro_kernels","records":[...]}.
+class BenchJsonEmitter {
+ public:
+  explicit BenchJsonEmitter(std::string suite) : suite_(std::move(suite)) {}
+
+  void Add(BenchRecord record) { records_.push_back(std::move(record)); }
+  size_t size() const { return records_.size(); }
+  const std::string& suite() const { return suite_; }
+
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+  /// \brief "BENCH_<suite>.json" under $ADR_BENCH_JSON_DIR (default: the
+  /// current directory — CI and scripts/bench_smoke.sh run from the repo
+  /// root, which is where the trajectory files live).
+  static std::string DefaultPath(const std::string& suite);
+
+ private:
+  std::string suite_;
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace adr
+
+#endif  // ADR_UTIL_BENCH_JSON_H_

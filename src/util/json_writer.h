@@ -1,0 +1,61 @@
+// Minimal streaming JSON emitter shared by the observability sinks
+// (metrics dumps, Chrome trace export, bench result files). Commas and
+// nesting are handled by the writer so call sites cannot produce
+// malformed documents; non-finite doubles are emitted as null, which
+// keeps the output strictly RFC 8259 parseable.
+
+#ifndef ADR_UTIL_JSON_WRITER_H_
+#define ADR_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adr {
+
+/// \brief Append-only JSON document builder.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("schema_version"); w.Int(1);
+///   w.Key("records"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   file << w.str();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// \brief Emits an object key; the next value call supplies its value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Double(double value);  ///< NaN/Inf are emitted as null
+  void Bool(bool value);
+  void Null();
+
+  /// \brief The document built so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true once the first element was
+  /// written (the next element needs a leading comma).
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+/// \brief Escapes a string for use inside a JSON string literal
+/// (quotes, backslashes, and control characters).
+std::string JsonEscape(std::string_view raw);
+
+}  // namespace adr
+
+#endif  // ADR_UTIL_JSON_WRITER_H_

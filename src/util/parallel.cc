@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
+
+#include "util/trace.h"
 
 namespace adr {
 
@@ -33,7 +36,7 @@ ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 0; i < num_threads_ - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -51,6 +54,7 @@ void ThreadPool::RunChunks() {
     const int64_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= job_chunks_) break;
     try {
+      ADR_TRACE_SPAN("pool_chunk");
       (*job_)(chunk);
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mu_);
@@ -59,7 +63,9 @@ void ThreadPool::RunChunks() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  Tracer::Global().SetCurrentThreadName("adr-worker-" +
+                                        std::to_string(worker_index));
   uint64_t seen_generation = 0;
   while (true) {
     {

@@ -68,7 +68,7 @@ class ThreadPool {
   static int DefaultThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   void RunChunks();
 
   const int num_threads_;

@@ -1,0 +1,137 @@
+#include "util/trace.h"
+
+#include <fstream>
+
+#include "util/json_writer.h"
+
+namespace adr {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer* Tracer::CurrentBuffer() {
+  // Cached per-thread buffer pointer. Buffers are owned by the tracer and
+  // never deallocated (Clear() only empties them), so the cache cannot
+  // dangle across Clear() calls.
+  static thread_local ThreadBuffer* t_buffer = nullptr;
+  if (t_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<int>(buffers_.size());
+    t_buffer = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  return t_buffer;
+}
+
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  ThreadBuffer* buffer = CurrentBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->name = name;
+}
+
+void Tracer::RecordComplete(const char* name, int64_t start_us,
+                            int64_t duration_us) {
+  ThreadBuffer* buffer = CurrentBuffer();
+  TraceEvent event;
+  event.name = name;
+  event.tid = buffer->tid;
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(event);
+}
+
+std::vector<TraceEvent> Tracer::SnapshotEvents() const {
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return events;
+}
+
+std::string Tracer::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    if (!buffer->name.empty()) {
+      w.BeginObject();
+      w.Key("name");
+      w.String("thread_name");
+      w.Key("ph");
+      w.String("M");
+      w.Key("pid");
+      w.Int(1);
+      w.Key("tid");
+      w.Int(buffer->tid);
+      w.Key("args");
+      w.BeginObject();
+      w.Key("name");
+      w.String(buffer->name);
+      w.EndObject();
+      w.EndObject();
+    }
+    for (const TraceEvent& event : buffer->events) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(event.name);
+      w.Key("cat");
+      w.String("adr");
+      w.Key("ph");
+      w.String("X");
+      w.Key("pid");
+      w.Int(1);
+      w.Key("tid");
+      w.Int(event.tid);
+      w.Key("ts");
+      w.Int(event.start_us);
+      w.Key("dur");
+      w.Int(event.duration_us);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Status Tracer::WriteJsonFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  file << ToJson() << "\n";
+  file.close();
+  if (!file) {
+    return Status::Internal("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+}  // namespace adr

@@ -1,0 +1,123 @@
+// Scoped-span tracer exporting Chrome trace-event JSON (load the file at
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Spans are recorded into per-thread buffers, so every worker thread of
+// the ThreadPool shows up as its own track; the pool names its workers
+// via SetCurrentThreadName. Tracing is off by default: a disabled
+// ADR_TRACE_SPAN costs one relaxed atomic load and nothing else, and
+// defining ADR_TRACE_DISABLED at compile time removes even that.
+//
+// Span names must be string literals (or otherwise outlive the tracer
+// dump): events store the pointer, not a copy.
+
+#ifndef ADR_UTIL_TRACE_H_
+#define ADR_UTIL_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adr {
+
+/// \brief One completed span, for test inspection (SnapshotEvents).
+struct TraceEvent {
+  const char* name = nullptr;
+  int tid = 0;               ///< registration order of the owning thread
+  int64_t start_us = 0;      ///< microseconds since tracer epoch
+  int64_t duration_us = 0;
+};
+
+/// \brief Process-wide span collector.
+class Tracer {
+ public:
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// \brief Microseconds since the tracer was created (monotonic clock).
+  int64_t NowMicros() const;
+
+  /// \brief Names the calling thread's track in the exported trace.
+  void SetCurrentThreadName(const std::string& name);
+
+  /// \brief Records a completed span on the calling thread's track.
+  /// `name` must outlive the tracer dump (use string literals).
+  void RecordComplete(const char* name, int64_t start_us, int64_t duration_us);
+
+  /// \brief All recorded events, across threads (test hook).
+  std::vector<TraceEvent> SnapshotEvents() const;
+
+  /// \brief Chrome trace-event JSON: {"traceEvents":[...]} with one "X"
+  /// (complete) event per span and "M" metadata events naming threads.
+  std::string ToJson() const;
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// \brief Drops recorded events (thread registrations are kept, so
+  /// outstanding thread-local buffers stay valid).
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    int tid = 0;
+    std::string name;
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer();
+  ThreadBuffer* CurrentBuffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  ///< guards buffers_ registration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// \brief RAII span: measures construction-to-destruction and records it
+/// when tracing is enabled at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : name_(name) {
+    Tracer& tracer = Tracer::Global();
+    start_us_ = tracer.enabled() ? tracer.NowMicros() : -1;
+  }
+  ~TraceSpan() {
+    if (start_us_ >= 0) {
+      Tracer& tracer = Tracer::Global();
+      tracer.RecordComplete(name_, start_us_, tracer.NowMicros() - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_us_;
+};
+
+#define ADR_TRACE_CONCAT_IMPL(a, b) a##b
+#define ADR_TRACE_CONCAT(a, b) ADR_TRACE_CONCAT_IMPL(a, b)
+
+#if defined(ADR_TRACE_DISABLED)
+#define ADR_TRACE_SPAN(name)
+#else
+/// Traces the enclosing scope under `name` (a string literal).
+#define ADR_TRACE_SPAN(name) \
+  ::adr::TraceSpan ADR_TRACE_CONCAT(adr_trace_span_, __LINE__)(name)
+#endif
+
+}  // namespace adr
+
+#endif  // ADR_UTIL_TRACE_H_

@@ -1,0 +1,97 @@
+// Unit tests of the bench JSON emitter: schema versioning, record shape,
+// default path resolution, and file round-trip — the contract that
+// scripts/check_bench_regression.py parses.
+
+#include "util/bench_json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "tests/json_syntax.h"
+
+namespace adr {
+namespace {
+
+BenchRecord MakeRecord(const std::string& name, double cpu_ns) {
+  BenchRecord record;
+  record.name = name;
+  record.iterations = 1000;
+  record.real_time_ns = cpu_ns * 1.1;
+  record.cpu_time_ns = cpu_ns;
+  record.items_per_second = 1e9 / cpu_ns;
+  return record;
+}
+
+TEST(BenchJsonTest, EmptyEmitterStillProducesValidDocument) {
+  BenchJsonEmitter emitter("micro_kernels");
+  const std::string json = emitter.ToJson();
+  EXPECT_TRUE(adr::testing::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"suite\":\"micro_kernels\""), std::string::npos);
+  EXPECT_NE(json.find("\"records\":[]"), std::string::npos);
+}
+
+TEST(BenchJsonTest, RecordsCarryAllFields) {
+  BenchJsonEmitter emitter("micro_reuse");
+  emitter.Add(MakeRecord("BM_Gemm/64", 1500.0));
+  emitter.Add(MakeRecord("BM_Hash/32", 800.0));
+  EXPECT_EQ(emitter.size(), 2u);
+
+  const std::string json = emitter.ToJson();
+  EXPECT_TRUE(adr::testing::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"name\":\"BM_Gemm/64\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"BM_Hash/32\""), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_time_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"real_time_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"items_per_second\""), std::string::npos);
+}
+
+TEST(BenchJsonTest, SchemaVersionMatchesConstant) {
+  // The checker hard-fails on version mismatch, so the constant and the
+  // document must agree.
+  BenchJsonEmitter emitter("s");
+  const std::string expected =
+      "\"schema_version\":" + std::to_string(kBenchJsonSchemaVersion);
+  EXPECT_NE(emitter.ToJson().find(expected), std::string::npos);
+}
+
+TEST(BenchJsonTest, WriteFileRoundTrips) {
+  BenchJsonEmitter emitter("roundtrip");
+  emitter.Add(MakeRecord("BM_X/1", 100.0));
+  const std::string path = ::testing::TempDir() + "/bench_roundtrip.json";
+  ASSERT_TRUE(emitter.WriteFile(path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  EXPECT_TRUE(adr::testing::IsValidJson(contents)) << contents;
+  EXPECT_NE(contents.find("BM_X/1"), std::string::npos);
+}
+
+TEST(BenchJsonTest, DefaultPathUsesSuiteAndEnvDir) {
+  EXPECT_EQ(BenchJsonEmitter::DefaultPath("micro_kernels"),
+            "BENCH_micro_kernels.json");
+
+  ::setenv("ADR_BENCH_JSON_DIR", "/tmp/bench-out", /*overwrite=*/1);
+  EXPECT_EQ(BenchJsonEmitter::DefaultPath("micro_reuse"),
+            "/tmp/bench-out/BENCH_micro_reuse.json");
+  ::unsetenv("ADR_BENCH_JSON_DIR");
+}
+
+TEST(BenchJsonTest, WriteFileFailsOnUnwritablePath) {
+  BenchJsonEmitter emitter("s");
+  EXPECT_FALSE(emitter.WriteFile("/nonexistent-dir/x/y.json").ok());
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,151 @@
+// Tiny recursive-descent JSON syntax checker used by the observability
+// tests to assert that emitted documents (metrics dumps, Chrome traces,
+// bench files) are well-formed without pulling in a JSON library.
+
+#ifndef ADR_TESTS_JSON_SYNTAX_H_
+#define ADR_TESTS_JSON_SYNTAX_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <string_view>
+
+namespace adr::testing {
+
+class JsonSyntaxChecker {
+ public:
+  explicit JsonSyntaxChecker(std::string_view text) : text_(text) {}
+
+  /// True iff the whole input is exactly one valid JSON value.
+  bool Valid() {
+    pos_ = 0;
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+inline bool IsValidJson(std::string_view text) {
+  return JsonSyntaxChecker(text).Valid();
+}
+
+}  // namespace adr::testing
+
+#endif  // ADR_TESTS_JSON_SYNTAX_H_
