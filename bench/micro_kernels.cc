@@ -9,8 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <cstring>
 
 #include "bench_json_main.h"
+#include "clustering/normalize.h"
 #include "core/clustered_matmul.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
@@ -77,6 +79,53 @@ void GemmTransAArgs(benchmark::internal::Benchmark* bench) {
   }
 }
 BENCHMARK(BM_GemmTransA)->Apply(GemmTransAArgs);
+
+void BM_GemmTransB(benchmark::State& state) {
+  SetupThreads(state);
+  const int64_t n = state.range(1), k = state.range(2), m = state.range(3);
+  Rng rng(6);
+  Tensor dy = Tensor::RandomGaussian(Shape({n, m}), &rng);  // n x m
+  Tensor w = Tensor::RandomGaussian(Shape({k, m}), &rng);   // k x m
+  Tensor c(Shape({n, k}));
+  for (auto _ : state) {
+    GemmTransB(dy.data(), w.data(), c.data(), n, m, k);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * k * m);
+}
+void GemmTransBArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"threads", "n", "k", "m"});
+  for (const int64_t threads : kThreadCounts) {
+    bench->Args({threads, 1024, 400, 64});
+  }
+}
+BENCHMARK(BM_GemmTransB)->Apply(GemmTransBArgs);
+
+void BM_NormalizeRows(benchmark::State& state) {
+  SetupThreads(state);
+  const int64_t rows = 4096, dim = state.range(1);
+  Rng rng(7);
+  Tensor data = Tensor::RandomGaussian(Shape({rows, dim}), &rng);
+  Tensor scratch = data;
+  for (auto _ : state) {
+    // Copy + normalize per iteration so the kernel always sees
+    // unnormalized input (the copy is a fraction of the kernel cost).
+    std::memcpy(scratch.data(), data.data(),
+                static_cast<size_t>(rows * dim) * sizeof(float));
+    NormalizeRowsInPlace(scratch.data(), rows, dim, dim);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * dim);
+}
+void NormalizeRowsArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"threads", "dim"});
+  for (const int64_t dim : {int64_t{400}, int64_t{25}}) {
+    for (const int64_t threads : kThreadCounts) {
+      bench->Args({threads, dim});
+    }
+  }
+}
+BENCHMARK(BM_NormalizeRows)->Apply(NormalizeRowsArgs);
 
 void BM_Im2Col(benchmark::State& state) {
   SetupThreads(state);

@@ -23,26 +23,31 @@ Status LshFamily::Create(int64_t dim, int num_hashes, uint64_t seed,
   }
   out->dim_ = dim;
   out->num_hashes_ = num_hashes;
-  out->hyperplanes_.resize(static_cast<size_t>(num_hashes) * dim);
+  // Sample hyperplane-major (fixed RNG order, so signatures are stable
+  // across releases), then transpose into the GEMM-friendly layout.
+  std::vector<float> planes(static_cast<size_t>(num_hashes) * dim);
   Rng rng(seed);
-  for (auto& v : out->hyperplanes_) v = rng.NextGaussian();
-  out->hyperplanes_t_.resize(out->hyperplanes_.size());
+  for (auto& v : planes) v = rng.NextGaussian();
+  out->hyperplanes_t_.resize(planes.size());
   for (int h = 0; h < num_hashes; ++h) {
     for (int64_t j = 0; j < dim; ++j) {
       out->hyperplanes_t_[static_cast<size_t>(j) * num_hashes + h] =
-          out->hyperplanes_[static_cast<size_t>(h) * dim + j];
+          planes[static_cast<size_t>(h) * dim + j];
     }
   }
   return Status::OK();
 }
 
 LshSignature LshFamily::Hash(const float* row) const {
+  // Single-row instance of the HashRows projection GEMM. Going through the
+  // identical kernel (not a per-plane dot product) keeps the projections —
+  // and therefore the sign bits — bit-identical between the per-row and
+  // batched paths under every SIMD backend.
+  float projections[kMaxLshHashes];
+  Gemm(row, hyperplanes_t_.data(), projections, 1, dim_, num_hashes_);
   LshSignature sig;
-  const float* plane = hyperplanes_.data();
-  for (int h = 0; h < num_hashes_; ++h, plane += dim_) {
-    float dot = 0.0f;
-    for (int64_t j = 0; j < dim_; ++j) dot += plane[j] * row[j];
-    if (dot > 0.0f) sig.SetBit(h);
+  for (int h = 0; h < num_hashes_; ++h) {
+    if (projections[h] > 0.0f) sig.SetBit(h);
   }
   return sig;
 }

@@ -65,20 +65,24 @@ class LshFamily {
   ///
   /// The row is interpreted under the angular metric: only the signs of the
   /// projections matter, so no explicit normalization is needed here.
+  /// Computed through the same GEMM microkernel as HashRows, so per-row and
+  /// batched signatures are bit-identical for any fixed SIMD backend.
   LshSignature Hash(const float* row) const;
 
   /// \brief Signatures for `num_rows` rows with the given stride.
   void HashRows(const float* data, int64_t num_rows, int64_t row_stride,
                 std::vector<LshSignature>* out) const;
 
+  /// \brief Dimension-major hyperplanes, hyperplanes_t()[j * num_hashes() +
+  /// h]: the projection operand of the HashRows GEMM. Exposed so the
+  /// golden-kernel harness can recompute projections at higher precision.
+  const std::vector<float>& hyperplanes_t() const { return hyperplanes_t_; }
+
  private:
   int64_t dim_ = 0;
   int num_hashes_ = 0;
-  // Hyperplanes stored hyperplane-major: hyperplanes_[h * dim_ + j]
-  // (used by the single-row Hash) ...
-  std::vector<float> hyperplanes_;
-  // ... and dimension-major: hyperplanes_t_[j * num_hashes_ + h] (used by
-  // the batched HashRows GEMM, where the inner loop streams over h).
+  // Hyperplanes stored dimension-major: hyperplanes_t_[j * num_hashes_ + h]
+  // (the batched HashRows GEMM streams over h in the inner loop).
   std::vector<float> hyperplanes_t_;
 };
 

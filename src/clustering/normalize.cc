@@ -2,25 +2,26 @@
 
 #include <cmath>
 
+#include "tensor/simd.h"
+
 namespace adr {
 
 void NormalizeRowsInPlace(float* data, int64_t num_rows, int64_t row_dim,
                           int64_t row_stride, float epsilon) {
+  const simd::Kernels& kernels = simd::Active();
   for (int64_t i = 0; i < num_rows; ++i) {
     float* row = data + i * row_stride;
-    double sq = 0.0;
-    for (int64_t j = 0; j < row_dim; ++j) {
-      sq += static_cast<double>(row[j]) * row[j];
-    }
-    const double norm = std::sqrt(sq);
+    const float norm = std::sqrt(kernels.squared_norm(row, row_dim));
     if (norm <= epsilon) continue;
-    const float inv = static_cast<float>(1.0 / norm);
-    for (int64_t j = 0; j < row_dim; ++j) row[j] *= inv;
+    kernels.scale(1.0f / norm, row, row_dim);
   }
 }
 
 double AngularDistance(const float* a, const float* b, int64_t dim,
                        float epsilon) {
+  // Deliberately scalar with double accumulation: this is an analysis
+  // metric (similarity studies, k-means quality), not a hot path, and the
+  // extra precision keeps the clamp below honest for near-parallel vectors.
   double na = 0.0, nb = 0.0, dot = 0.0;
   for (int64_t j = 0; j < dim; ++j) {
     na += static_cast<double>(a[j]) * a[j];

@@ -5,6 +5,7 @@
 
 #include "clustering/kmeans.h"
 #include "tensor/gemm.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/metrics_registry.h"
@@ -21,12 +22,11 @@ namespace {
 // chunks are race-free and thread-count independent.
 void ScatterClusterOutputs(const float* yc, const Clustering& clustering,
                            int64_t num_rows, int64_t m, float* y) {
+  const simd::Kernels& kernels = simd::Active();
   ParallelFor(num_rows, GrainForCost(m), [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
-      const float* src =
-          yc + clustering.assignment[static_cast<size_t>(i)] * m;
-      float* dst = y + i * m;
-      for (int64_t j = 0; j < m; ++j) dst[j] += src[j];
+      kernels.add(yc + clustering.assignment[static_cast<size_t>(i)] * m,
+                  y + i * m, m);
     }
   });
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tensor/gemm.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -22,6 +23,7 @@ constexpr int64_t kReduceChunks = 8;
 // dy_sum[cl] = sum of dy rows assigned to cluster cl (Eq. 8).
 void ClusterRowSums(const float* dy, const Clustering& clustering, int64_t n,
                     int64_t m, float* sums) {
+  const simd::Kernels& kernels = simd::Active();
   const int64_t num_clusters = clustering.num_clusters();
   const int64_t chunks = std::min<int64_t>(kReduceChunks, n);
   std::vector<float> partials(
@@ -31,10 +33,9 @@ void ClusterRowSums(const float* dy, const Clustering& clustering, int64_t n,
     const int64_t end = (c + 1) * n / chunks;
     float* part = partials.data() + c * num_clusters * m;
     for (int64_t i = begin; i < end; ++i) {
-      const float* src = dy + i * m;
-      float* dst =
-          part + clustering.assignment[static_cast<size_t>(i)] * m;
-      for (int64_t j = 0; j < m; ++j) dst[j] += src[j];
+      kernels.add(dy + i * m,
+                  part + clustering.assignment[static_cast<size_t>(i)] * m,
+                  m);
     }
   });
   // Combine in ascending chunk order; cluster rows are disjoint, so the
@@ -44,9 +45,8 @@ void ClusterRowSums(const float* dy, const Clustering& clustering, int64_t n,
                 for (int64_t cl = cl_begin; cl < cl_end; ++cl) {
                   float* dst = sums + cl * m;
                   for (int64_t c = 0; c < chunks; ++c) {
-                    const float* part =
-                        partials.data() + (c * num_clusters + cl) * m;
-                    for (int64_t j = 0; j < m; ++j) dst[j] += part[j];
+                    kernels.add(partials.data() + (c * num_clusters + cl) * m,
+                                dst, m);
                   }
                 }
               });
@@ -89,15 +89,15 @@ BackwardReuseResult ReuseBackward(const ReuseClustering& clustering,
     result.stats.macs += static_cast<double>(num_clusters) * length * m;
 
     // dy_{c,sa}: average instead of sum (divide each row by N_l).
+    const simd::Kernels& kernels = simd::Active();
     ParallelFor(num_clusters, GrainForCost(m),
                 [&](int64_t begin, int64_t end) {
                   for (int64_t c = begin; c < end; ++c) {
-                    const float inv =
+                    kernels.scale(
                         1.0f / static_cast<float>(
                                    block.clustering.cluster_sizes
-                                       [static_cast<size_t>(c)]);
-                    float* row = sums + c * m;
-                    for (int64_t j = 0; j < m; ++j) row[j] *= inv;
+                                       [static_cast<size_t>(c)]),
+                        sums + c * m, m);
                   }
                 });
 

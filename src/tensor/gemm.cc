@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "tensor/simd.h"
 #include "util/parallel.h"
 
 namespace adr {
@@ -16,9 +17,12 @@ constexpr int64_t kBlockK = 128;
 constexpr int64_t kBlockN = 256;
 
 // Computes C rows [row_begin, row_end): the serial blocked kernel over a
-// row slice. Each row's accumulation order is independent of the slice
-// boundaries, so any row partitioning yields bit-identical results.
-void GemmRowSlice(const float* a, const float* b, float* c, int64_t row_begin,
+// row slice, with each cache block handed to the backend's register-tiled
+// microkernel. Each row's k-blocks accumulate in ascending order and the
+// microkernel's per-element order depends only on the shape, so any row
+// partitioning yields bit-identical results for a fixed backend.
+void GemmRowSlice(const simd::Kernels& kernels, const float* a,
+                  const float* b, float* c, int64_t row_begin,
                   int64_t row_end, int64_t k, int64_t n, bool accumulate) {
   if (!accumulate) {
     std::memset(c + row_begin * n, 0,
@@ -30,17 +34,8 @@ void GemmRowSlice(const float* a, const float* b, float* c, int64_t row_begin,
       const int64_t k1 = std::min(k0 + kBlockK, k);
       for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
         const int64_t j1 = std::min(j0 + kBlockN, n);
-        for (int64_t i = i0; i < i1; ++i) {
-          float* c_row = c + i * n;
-          for (int64_t kk = k0; kk < k1; ++kk) {
-            const float a_ik = a[i * k + kk];
-            if (a_ik == 0.0f) continue;
-            const float* b_row = b + kk * n;
-            for (int64_t j = j0; j < j1; ++j) {
-              c_row[j] += a_ik * b_row[j];
-            }
-          }
-        }
+        kernels.gemm_block(a + i0 * k + k0, k, b + k0 * n + j0, n,
+                           c + i0 * n + j0, n, i1 - i0, k1 - k0, j1 - j0);
       }
     }
   }
@@ -52,11 +47,13 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool accumulate) {
   // Row-blocked parallelism: each chunk owns a disjoint slice of C rows.
   // Chunks are multiples of kBlockM so the cache blocking inside a slice
-  // is unchanged from the serial kernel.
+  // is unchanged from the serial kernel. The backend is resolved once on
+  // the calling thread so an override active here covers the whole call.
+  const simd::Kernels& kernels = simd::Active();
   const int64_t grain =
       std::max(kBlockM, (GrainForCost(k * n) + kBlockM - 1) / kBlockM * kBlockM);
   ParallelFor(m, grain, [&](int64_t row_begin, int64_t row_end) {
-    GemmRowSlice(a, b, c, row_begin, row_end, k, n, accumulate);
+    GemmRowSlice(kernels, a, b, c, row_begin, row_end, k, n, accumulate);
   });
 }
 
@@ -66,6 +63,7 @@ void GemmTransA(const float* a, const float* b, float* c, int64_t m,
   // are streamed sequentially. Parallelized over slices of C rows (the i
   // index): every chunk reads all of A and B but writes a disjoint slice,
   // and each row's k-accumulation order is chunk-independent.
+  const simd::Kernels& kernels = simd::Active();
   const int64_t grain =
       std::max(kBlockM, (GrainForCost(k * n) + kBlockM - 1) / kBlockM * kBlockM);
   ParallelFor(m, grain, [&](int64_t row_begin, int64_t row_end) {
@@ -84,10 +82,7 @@ void GemmTransA(const float* a, const float* b, float* c, int64_t m,
           for (int64_t i = i0; i < i1; ++i) {
             const float a_ki = a_row[i];
             if (a_ki == 0.0f) continue;
-            float* c_row = c + i * n;
-            for (int64_t j = 0; j < n; ++j) {
-              c_row[j] += a_ki * b_row[j];
-            }
+            kernels.axpy(a_ki, b_row, c + i * n, n);
           }
         }
       }
@@ -99,16 +94,13 @@ void GemmTransB(const float* a, const float* b, float* c, int64_t m,
                 int64_t k, int64_t n, bool accumulate) {
   // B is stored NxK; each C[i][j] is a dot product of contiguous rows.
   // Rows of C are independent, so row slices parallelize trivially.
+  const simd::Kernels& kernels = simd::Active();
   ParallelFor(m, GrainForCost(k * n), [&](int64_t row_begin, int64_t row_end) {
     for (int64_t i = row_begin; i < row_end; ++i) {
       const float* a_row = a + i * k;
       float* c_row = c + i * n;
       for (int64_t j = 0; j < n; ++j) {
-        const float* b_row = b + j * k;
-        float sum = 0.0f;
-        for (int64_t kk = 0; kk < k; ++kk) {
-          sum += a_row[kk] * b_row[kk];
-        }
+        const float sum = kernels.dot(a_row, b + j * k, k);
         c_row[j] = accumulate ? c_row[j] + sum : sum;
       }
     }

@@ -1,0 +1,94 @@
+// Portable SIMD kernel layer for the reuse hot paths.
+//
+// Every dense inner loop the library spends its time in (the GEMM
+// microkernels, LSH projection dot products, row normalization, the
+// cluster gather/scatter adds and the backward sum/average reductions)
+// funnels through the small table of primitives below. The table has one
+// implementation per instruction set:
+//
+//   scalar — always built, always tested; the golden reference the
+//            differential harness (tests/golden_kernels_test.cc) compares
+//            every vector backend against.
+//   avx2   — x86-64 AVX2 + FMA, compiled in its own translation unit with
+//            -mavx2 -mfma so no AVX instruction can leak into generic
+//            code paths; selected only when the running CPU reports both
+//            features.
+//   neon   — aarch64 NEON (baseline on that architecture).
+//
+// Backend resolution, highest priority first:
+//   1. ScopedKernelsOverride (tests pinning a specific backend);
+//   2. the ADR_SIMD environment variable: "0"/"off"/"scalar" forces the
+//      scalar backend at runtime (read once, like ADR_THREADS);
+//   3. the best backend that was compiled in (-DADR_SIMD=OFF builds none)
+//      AND is supported by the running CPU.
+//
+// Numerical contract: backends may differ from each other in the final
+// few ULPs (vector lanes regroup the accumulation order), but every
+// backend is deterministic — same input, same shape, same backend gives
+// bit-identical output on any thread count. Per-kernel tolerances are
+// stated in DESIGN.md section 6.3 and enforced by the golden harness.
+
+#ifndef ADR_TENSOR_SIMD_H_
+#define ADR_TENSOR_SIMD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adr::simd {
+
+enum class Isa { kScalar, kAvx2, kNeon };
+
+/// \brief One backend's implementations of the hot-path primitives.
+struct Kernels {
+  Isa isa = Isa::kScalar;
+  const char* name = "scalar";  ///< "scalar", "avx2" or "neon"
+  int width = 1;                ///< float lanes per vector register
+
+  /// sum_i a[i] * b[i]
+  float (*dot)(const float* a, const float* b, int64_t n);
+  /// sum_i a[i]^2
+  float (*squared_norm)(const float* a, int64_t n);
+  /// y[i] += s * x[i]
+  void (*axpy)(float s, const float* x, float* y, int64_t n);
+  /// y[i] += x[i]
+  void (*add)(const float* x, float* y, int64_t n);
+  /// y[i] *= s
+  void (*scale)(float s, float* y, int64_t n);
+  /// C[m x n] += A[m x k] * B[k x n]; row-major with leading dimensions
+  /// lda/ldb/ldc >= the respective row lengths. The register-blocked FMA
+  /// microkernel behind Gemm/GemmTransA/GemmTransB's cache blocks. Each
+  /// output element accumulates its k-products in ascending-k order, so
+  /// for a fixed backend the result depends only on the operands.
+  void (*gemm_block)(const float* a, int64_t lda, const float* b,
+                     int64_t ldb, float* c, int64_t ldc, int64_t m,
+                     int64_t k, int64_t n);
+};
+
+/// \brief The scalar backend. Always available.
+const Kernels& Scalar();
+
+/// \brief The backend hot kernels should use, resolved per the rules in
+/// the header comment. Safe to call from pool threads.
+const Kernels& Active();
+
+/// \brief Every backend usable on this build + CPU, scalar first. The
+/// differential harness iterates this list.
+const std::vector<const Kernels*>& AllAvailable();
+
+/// \brief RAII override of Active() for differential tests. Install from
+/// the main thread between pieces of work, never concurrently with
+/// running kernels.
+class ScopedKernelsOverride {
+ public:
+  explicit ScopedKernelsOverride(const Kernels& kernels);
+  ~ScopedKernelsOverride();
+  ScopedKernelsOverride(const ScopedKernelsOverride&) = delete;
+  ScopedKernelsOverride& operator=(const ScopedKernelsOverride&) = delete;
+
+ private:
+  const Kernels* previous_;
+};
+
+}  // namespace adr::simd
+
+#endif  // ADR_TENSOR_SIMD_H_

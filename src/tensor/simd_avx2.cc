@@ -1,0 +1,20 @@
+// AVX2 + FMA backend. This file is the only one compiled with
+// -mavx2 -mfma (see src/tensor/CMakeLists.txt); the dispatcher guards it
+// behind a runtime __builtin_cpu_supports check so binaries stay runnable
+// on pre-AVX2 x86-64.
+
+#include "tensor/simd_kernels_inl.h"
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "simd_avx2.cc must be compiled with -mavx2 -mfma"
+#endif
+
+namespace adr::simd {
+
+const Kernels& Avx2KernelsImpl() {
+  static const Kernels kernels =
+      detail::MakeKernels<detail::Avx2Ops>(Isa::kAvx2, "avx2");
+  return kernels;
+}
+
+}  // namespace adr::simd

@@ -1,0 +1,90 @@
+// Backend selection for the SIMD kernel layer. Which vector backends
+// exist is decided at build time (ADR_SIMD_HAVE_AVX2 / ADR_SIMD_HAVE_NEON
+// are set per-file by CMake when the matching TU is built); which one runs
+// is decided once at first use from the CPU's reported features and the
+// ADR_SIMD environment variable.
+
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace adr::simd {
+
+const Kernels& ScalarKernelsImpl();
+#if defined(ADR_SIMD_HAVE_AVX2)
+const Kernels& Avx2KernelsImpl();
+#endif
+#if defined(ADR_SIMD_HAVE_NEON)
+const Kernels& NeonKernelsImpl();
+#endif
+
+namespace {
+
+std::atomic<const Kernels*> g_override{nullptr};
+
+bool EnvDisablesSimd() {
+  const char* env = std::getenv("ADR_SIMD");
+  if (env == nullptr) return false;
+  const std::string value(env);
+  return value == "0" || value == "off" || value == "OFF" ||
+         value == "scalar";
+}
+
+#if defined(ADR_SIMD_HAVE_AVX2)
+bool CpuHasAvx2Fma() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+#endif
+
+const Kernels& Choose() {
+  if (EnvDisablesSimd()) return ScalarKernelsImpl();
+#if defined(ADR_SIMD_HAVE_AVX2)
+  if (CpuHasAvx2Fma()) return Avx2KernelsImpl();
+#endif
+#if defined(ADR_SIMD_HAVE_NEON)
+  return NeonKernelsImpl();
+#else
+  return ScalarKernelsImpl();
+#endif
+}
+
+}  // namespace
+
+const Kernels& Scalar() { return ScalarKernelsImpl(); }
+
+const Kernels& Active() {
+  const Kernels* override_kernels =
+      g_override.load(std::memory_order_acquire);
+  if (override_kernels != nullptr) return *override_kernels;
+  static const Kernels& chosen = Choose();
+  return chosen;
+}
+
+const std::vector<const Kernels*>& AllAvailable() {
+  static const std::vector<const Kernels*> all = [] {
+    std::vector<const Kernels*> backends{&ScalarKernelsImpl()};
+#if defined(ADR_SIMD_HAVE_AVX2)
+    if (CpuHasAvx2Fma()) backends.push_back(&Avx2KernelsImpl());
+#endif
+#if defined(ADR_SIMD_HAVE_NEON)
+    backends.push_back(&NeonKernelsImpl());
+#endif
+    return backends;
+  }();
+  return all;
+}
+
+ScopedKernelsOverride::ScopedKernelsOverride(const Kernels& kernels)
+    : previous_(g_override.exchange(&kernels, std::memory_order_acq_rel)) {}
+
+ScopedKernelsOverride::~ScopedKernelsOverride() {
+  g_override.store(previous_, std::memory_order_release);
+}
+
+}  // namespace adr::simd

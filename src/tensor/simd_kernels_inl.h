@@ -1,0 +1,262 @@
+// Generic implementations of the simd::Kernels primitives, templated on a
+// per-ISA vector-ops struct. Each backend translation unit (simd_scalar.cc,
+// simd_avx2.cc, simd_neon.cc) includes this header and instantiates
+// MakeKernels with its Ops type; the AVX2 unit alone is compiled with
+// -mavx2 -mfma, so the intrinsics below only ever exist there.
+//
+// An Ops type provides:
+//   using Reg            — the vector register type (float for scalar);
+//   static constexpr int kWidth — float lanes per register;
+//   Zero(), Load(p), Store(p, v), Broadcast(s), Add(a, b), Mul(a, b),
+//   Fma(a, b, acc) = a * b + acc, ReduceAdd(v).
+//
+// Remainder lanes (n not a multiple of kWidth) run in scalar tail loops;
+// the golden harness sweeps such shapes explicitly.
+
+#ifndef ADR_TENSOR_SIMD_KERNELS_INL_H_
+#define ADR_TENSOR_SIMD_KERNELS_INL_H_
+
+#include <cstdint>
+
+#include "tensor/simd.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#endif
+
+namespace adr::simd::detail {
+
+struct ScalarOps {
+  using Reg = float;
+  static constexpr int kWidth = 1;
+  static Reg Zero() { return 0.0f; }
+  static Reg Load(const float* p) { return *p; }
+  static void Store(float* p, Reg v) { *p = v; }
+  static Reg Broadcast(float s) { return s; }
+  static Reg Add(Reg a, Reg b) { return a + b; }
+  static Reg Mul(Reg a, Reg b) { return a * b; }
+  static Reg Fma(Reg a, Reg b, Reg acc) { return a * b + acc; }
+  static float ReduceAdd(Reg v) { return v; }
+};
+
+#if defined(__AVX2__) && defined(__FMA__)
+struct Avx2Ops {
+  using Reg = __m256;
+  static constexpr int kWidth = 8;
+  static Reg Zero() { return _mm256_setzero_ps(); }
+  static Reg Load(const float* p) { return _mm256_loadu_ps(p); }
+  static void Store(float* p, Reg v) { _mm256_storeu_ps(p, v); }
+  static Reg Broadcast(float s) { return _mm256_set1_ps(s); }
+  static Reg Add(Reg a, Reg b) { return _mm256_add_ps(a, b); }
+  static Reg Mul(Reg a, Reg b) { return _mm256_mul_ps(a, b); }
+  static Reg Fma(Reg a, Reg b, Reg acc) { return _mm256_fmadd_ps(a, b, acc); }
+  static float ReduceAdd(Reg v) {
+    // (lo + hi) then pairwise: a fixed, shape-independent reduction tree.
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 sum = _mm_add_ps(lo, hi);
+    sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+    sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 0x1));
+    return _mm_cvtss_f32(sum);
+  }
+};
+#endif  // __AVX2__ && __FMA__
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+struct NeonOps {
+  using Reg = float32x4_t;
+  static constexpr int kWidth = 4;
+  static Reg Zero() { return vdupq_n_f32(0.0f); }
+  static Reg Load(const float* p) { return vld1q_f32(p); }
+  static void Store(float* p, Reg v) { vst1q_f32(p, v); }
+  static Reg Broadcast(float s) { return vdupq_n_f32(s); }
+  static Reg Add(Reg a, Reg b) { return vaddq_f32(a, b); }
+  static Reg Mul(Reg a, Reg b) { return vmulq_f32(a, b); }
+  static Reg Fma(Reg a, Reg b, Reg acc) { return vfmaq_f32(acc, a, b); }
+  static float ReduceAdd(Reg v) { return vaddvq_f32(v); }
+};
+#endif  // __ARM_NEON
+
+template <typename Ops>
+float DotImpl(const float* a, const float* b, int64_t n) {
+  using Reg = typename Ops::Reg;
+  constexpr int64_t kW = Ops::kWidth;
+  // Two accumulator chains hide FMA latency; combined once at the end so
+  // the reduction order is fixed by n alone.
+  Reg acc0 = Ops::Zero();
+  Reg acc1 = Ops::Zero();
+  int64_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    acc0 = Ops::Fma(Ops::Load(a + i), Ops::Load(b + i), acc0);
+    acc1 = Ops::Fma(Ops::Load(a + i + kW), Ops::Load(b + i + kW), acc1);
+  }
+  if (i + kW <= n) {
+    acc0 = Ops::Fma(Ops::Load(a + i), Ops::Load(b + i), acc0);
+    i += kW;
+  }
+  float sum = Ops::ReduceAdd(Ops::Add(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+template <typename Ops>
+float SquaredNormImpl(const float* a, int64_t n) {
+  using Reg = typename Ops::Reg;
+  constexpr int64_t kW = Ops::kWidth;
+  Reg acc0 = Ops::Zero();
+  Reg acc1 = Ops::Zero();
+  int64_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    const Reg v0 = Ops::Load(a + i);
+    const Reg v1 = Ops::Load(a + i + kW);
+    acc0 = Ops::Fma(v0, v0, acc0);
+    acc1 = Ops::Fma(v1, v1, acc1);
+  }
+  if (i + kW <= n) {
+    const Reg v = Ops::Load(a + i);
+    acc0 = Ops::Fma(v, v, acc0);
+    i += kW;
+  }
+  float sum = Ops::ReduceAdd(Ops::Add(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * a[i];
+  return sum;
+}
+
+template <typename Ops>
+void AxpyImpl(float s, const float* x, float* y, int64_t n) {
+  using Reg = typename Ops::Reg;
+  constexpr int64_t kW = Ops::kWidth;
+  const Reg sv = Ops::Broadcast(s);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    Ops::Store(y + i, Ops::Fma(sv, Ops::Load(x + i), Ops::Load(y + i)));
+  }
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+template <typename Ops>
+void AddImpl(const float* x, float* y, int64_t n) {
+  using Reg = typename Ops::Reg;
+  constexpr int64_t kW = Ops::kWidth;
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    Ops::Store(y + i, Ops::Add(Ops::Load(y + i), Ops::Load(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+template <typename Ops>
+void ScaleImpl(float s, float* y, int64_t n) {
+  using Reg = typename Ops::Reg;
+  constexpr int64_t kW = Ops::kWidth;
+  const Reg sv = Ops::Broadcast(s);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    Ops::Store(y + i, Ops::Mul(Ops::Load(y + i), sv));
+  }
+  for (; i < n; ++i) y[i] *= s;
+}
+
+// One tile of R rows of C: C[R x n] += A[R x k] * B[k x n]. Columns run
+// in tiles of two registers (the hot loop: one broadcast of A per row, two
+// FMAs reusing the loaded B registers across all R rows), then one
+// register, then a scalar tail. Accumulators live in registers across the
+// whole k loop and are added to C once, so each element's accumulation
+// order depends only on k.
+template <typename Ops, int R>
+void GemmRowTile(const float* a, int64_t lda, const float* b, int64_t ldb,
+                 float* c, int64_t ldc, int64_t k, int64_t n) {
+  using Reg = typename Ops::Reg;
+  constexpr int64_t kW = Ops::kWidth;
+  int64_t j = 0;
+  for (; j + 2 * kW <= n; j += 2 * kW) {
+    Reg acc0[R];
+    Reg acc1[R];
+    for (int r = 0; r < R; ++r) {
+      acc0[r] = Ops::Zero();
+      acc1[r] = Ops::Zero();
+    }
+    const float* b_col = b + j;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const Reg b0 = Ops::Load(b_col + kk * ldb);
+      const Reg b1 = Ops::Load(b_col + kk * ldb + kW);
+      for (int r = 0; r < R; ++r) {
+        const Reg av = Ops::Broadcast(a[r * lda + kk]);
+        acc0[r] = Ops::Fma(av, b0, acc0[r]);
+        acc1[r] = Ops::Fma(av, b1, acc1[r]);
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      float* c_row = c + r * ldc + j;
+      Ops::Store(c_row, Ops::Add(Ops::Load(c_row), acc0[r]));
+      Ops::Store(c_row + kW, Ops::Add(Ops::Load(c_row + kW), acc1[r]));
+    }
+  }
+  for (; j + kW <= n; j += kW) {
+    Reg acc[R];
+    for (int r = 0; r < R; ++r) acc[r] = Ops::Zero();
+    const float* b_col = b + j;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const Reg bv = Ops::Load(b_col + kk * ldb);
+      for (int r = 0; r < R; ++r) {
+        acc[r] = Ops::Fma(Ops::Broadcast(a[r * lda + kk]), bv, acc[r]);
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      float* c_row = c + r * ldc + j;
+      Ops::Store(c_row, Ops::Add(Ops::Load(c_row), acc[r]));
+    }
+  }
+  for (; j < n; ++j) {
+    for (int r = 0; r < R; ++r) {
+      float acc = 0.0f;
+      const float* a_row = a + r * lda;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b[kk * ldb + j];
+      c[r * ldc + j] += acc;
+    }
+  }
+}
+
+template <typename Ops>
+void GemmBlockImpl(const float* a, int64_t lda, const float* b, int64_t ldb,
+                   float* c, int64_t ldc, int64_t m, int64_t k, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    GemmRowTile<Ops, 4>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, k, n);
+  }
+  switch (m - i) {
+    case 3:
+      GemmRowTile<Ops, 3>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, k, n);
+      break;
+    case 2:
+      GemmRowTile<Ops, 2>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, k, n);
+      break;
+    case 1:
+      GemmRowTile<Ops, 1>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, k, n);
+      break;
+    default:
+      break;
+  }
+}
+
+template <typename Ops>
+Kernels MakeKernels(Isa isa, const char* name) {
+  Kernels kernels;
+  kernels.isa = isa;
+  kernels.name = name;
+  kernels.width = Ops::kWidth;
+  kernels.dot = &DotImpl<Ops>;
+  kernels.squared_norm = &SquaredNormImpl<Ops>;
+  kernels.axpy = &AxpyImpl<Ops>;
+  kernels.add = &AddImpl<Ops>;
+  kernels.scale = &ScaleImpl<Ops>;
+  kernels.gemm_block = &GemmBlockImpl<Ops>;
+  return kernels;
+}
+
+}  // namespace adr::simd::detail
+
+#endif  // ADR_TENSOR_SIMD_KERNELS_INL_H_

@@ -1,0 +1,18 @@
+// NEON backend. NEON is architectural baseline on aarch64, so this unit
+// needs no special flags and no runtime feature check.
+
+#include "tensor/simd_kernels_inl.h"
+
+#if !defined(__ARM_NEON) && !defined(__ARM_NEON__)
+#error "simd_neon.cc requires a NEON-capable target"
+#endif
+
+namespace adr::simd {
+
+const Kernels& NeonKernelsImpl() {
+  static const Kernels kernels =
+      detail::MakeKernels<detail::NeonOps>(Isa::kNeon, "neon");
+  return kernels;
+}
+
+}  // namespace adr::simd

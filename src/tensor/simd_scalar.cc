@@ -1,0 +1,15 @@
+// The always-built scalar backend: the reference the golden-kernel
+// harness holds every vector backend to. Must stay in a translation unit
+// without ISA-specific flags.
+
+#include "tensor/simd_kernels_inl.h"
+
+namespace adr::simd {
+
+const Kernels& ScalarKernelsImpl() {
+  static const Kernels kernels =
+      detail::MakeKernels<detail::ScalarOps>(Isa::kScalar, "scalar");
+  return kernels;
+}
+
+}  // namespace adr::simd

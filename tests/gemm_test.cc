@@ -123,7 +123,34 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(63, 127, 255),
                       std::make_tuple(128, 1, 128),
                       std::make_tuple(3, 300, 2),
-                      std::make_tuple(100, 75, 64)));
+                      std::make_tuple(100, 75, 64),
+                      // Remainder lanes: every combination of dimensions
+                      // that straddle the 4-row tile and 8/16-lane vectors.
+                      std::make_tuple(1, 3, 7), std::make_tuple(3, 7, 17),
+                      std::make_tuple(7, 17, 1), std::make_tuple(17, 1, 3),
+                      std::make_tuple(17, 17, 17),
+                      std::make_tuple(7, 3, 17)));
+
+// GemmReference itself is validated independently of any vector kernel:
+// with A and B all-ones, every element of C is exactly k (integer sums
+// below 2^24 are exact in float). All 64 {1,3,7,17}^3 shapes.
+TEST(GemmReferenceTest, OnesMatrixProductEqualsK) {
+  const int64_t sizes[] = {1, 3, 7, 17};
+  for (const int64_t m : sizes) {
+    for (const int64_t k : sizes) {
+      for (const int64_t n : sizes) {
+        const std::vector<float> a(static_cast<size_t>(m * k), 1.0f);
+        const std::vector<float> b(static_cast<size_t>(k * n), 1.0f);
+        std::vector<float> c(static_cast<size_t>(m * n), -1.0f);
+        GemmReference(a.data(), b.data(), c.data(), m, k, n);
+        for (int64_t i = 0; i < m * n; ++i) {
+          ASSERT_EQ(c[static_cast<size_t>(i)], static_cast<float>(k))
+              << "m=" << m << " k=" << k << " n=" << n << " i=" << i;
+        }
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace adr

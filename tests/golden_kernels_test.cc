@@ -1,0 +1,419 @@
+// Differential golden-kernel tests for the SIMD layer (tensor/simd.h).
+//
+// Every backend available on this build + machine (scalar always; avx2 or
+// neon when present) is swept over remainder-lane shapes and compared
+// against double-precision references or the scalar backend, with the
+// per-kernel tolerances documented in tests/kernel_harness.h and DESIGN.md
+// section 6.3. The suite closes with a finite-difference gradient check of
+// ReuseConv2d running end-to-end on the active (SIMD) backend.
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/clustered_matmul.h"
+#include "core/reuse_backward.h"
+#include "core/reuse_conv2d.h"
+#include "core/subvector_clustering.h"
+#include "clustering/lsh.h"
+#include "clustering/normalize.h"
+#include "tensor/gemm.h"
+#include "tensor/simd.h"
+#include "tensor/tensor_ops.h"
+#include "tests/gradient_check.h"
+#include "tests/kernel_harness.h"
+#include "util/rng.h"
+
+namespace adr {
+namespace {
+
+using testutil::AbsDot;
+using testutil::Backends;
+using testutil::RandomVector;
+using testutil::ReductionTolerance;
+using testutil::RefDot;
+using testutil::RefGemm;
+using testutil::RefSquaredNorm;
+using testutil::RemainderSizes;
+
+TEST(GoldenKernels, AtLeastScalarIsAvailable) {
+  ASSERT_FALSE(Backends().empty());
+  EXPECT_EQ(Backends().front(), &simd::Scalar());
+  EXPECT_EQ(simd::Scalar().isa, simd::Isa::kScalar);
+  // Every backend reports a sane lane width and a name.
+  for (const simd::Kernels* backend : Backends()) {
+    EXPECT_GE(backend->width, 1) << backend->name;
+    EXPECT_NE(backend->name, nullptr);
+  }
+}
+
+TEST(GoldenKernels, DotMatchesDoubleReference) {
+  for (const simd::Kernels* backend : Backends()) {
+    for (const int64_t n : RemainderSizes()) {
+      const std::vector<float> a = RandomVector(n, 100 + n);
+      const std::vector<float> b = RandomVector(n, 200 + n);
+      const double expected = RefDot(a.data(), b.data(), n);
+      const double tolerance = ReductionTolerance(AbsDot(a.data(), b.data(), n), n);
+      EXPECT_NEAR(backend->dot(a.data(), b.data(), n), expected, tolerance)
+          << backend->name << " n=" << n;
+    }
+  }
+}
+
+TEST(GoldenKernels, SquaredNormMatchesDoubleReference) {
+  for (const simd::Kernels* backend : Backends()) {
+    for (const int64_t n : RemainderSizes()) {
+      const std::vector<float> a = RandomVector(n, 300 + n);
+      const double expected = RefSquaredNorm(a.data(), n);
+      const double tolerance = ReductionTolerance(expected, n);
+      EXPECT_NEAR(backend->squared_norm(a.data(), n), expected, tolerance)
+          << backend->name << " n=" << n;
+    }
+  }
+}
+
+TEST(GoldenKernels, AddAndScaleMatchScalarBitwise) {
+  for (const simd::Kernels* backend : Backends()) {
+    for (const int64_t n : RemainderSizes()) {
+      const std::vector<float> x = RandomVector(n, 400 + n);
+      std::vector<float> y = RandomVector(n, 500 + n);
+      std::vector<float> actual = y;
+      backend->add(x.data(), actual.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(actual[i], y[i] + x[i])
+            << backend->name << " add n=" << n << " i=" << i;
+      }
+      actual = y;
+      backend->scale(0.37f, actual.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(actual[i], y[i] * 0.37f)
+            << backend->name << " scale n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(GoldenKernels, AxpyMatchesScalarWithinUlps) {
+  const float s = -1.73f;
+  for (const simd::Kernels* backend : Backends()) {
+    for (const int64_t n : RemainderSizes()) {
+      const std::vector<float> x = RandomVector(n, 600 + n);
+      const std::vector<float> y = RandomVector(n, 700 + n);
+      std::vector<float> actual = y;
+      backend->axpy(s, x.data(), actual.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        // FMA fuses the multiply-add; allow a few ULPs around the
+        // double-precision result.
+        const double expected =
+            static_cast<double>(s) * x[i] + static_cast<double>(y[i]);
+        EXPECT_NEAR(actual[i], expected, 1e-6 * (std::abs(expected) + 1.0))
+            << backend->name << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(GoldenKernels, GemmBlockSweepWithLeadingDims) {
+  // Leading dimensions strictly larger than the logical widths catch
+  // stride bugs; m sweeps every row-tile remainder (R = 4 tiles).
+  const std::vector<int64_t> ms = {1, 2, 3, 4, 5, 6, 7, 8, 13};
+  const std::vector<int64_t> ks = {1, 3, 17, 64};
+  const std::vector<int64_t> ns = {1, 3, 7, 8, 15, 16, 17, 33};
+  for (const simd::Kernels* backend : Backends()) {
+    for (const int64_t m : ms) {
+      for (const int64_t k : ks) {
+        for (const int64_t n : ns) {
+          const int64_t lda = k + 3, ldb = n + 5, ldc = n + 2;
+          const std::vector<float> a =
+              RandomVector(m * lda, 1000 + m * 31 + k * 7 + n);
+          const std::vector<float> b =
+              RandomVector(k * ldb, 2000 + m + k * 13 + n * 3);
+          // gemm_block accumulates: start from a non-trivial C.
+          const std::vector<float> c0 =
+              RandomVector(m * ldc, 3000 + m + k + n);
+          std::vector<float> c = c0;
+          backend->gemm_block(a.data(), lda, b.data(), ldb, c.data(), ldc,
+                              m, k, n);
+          std::vector<double> expected, abs_bound;
+          RefGemm(a.data(), lda, b.data(), ldb, m, k, n, &expected,
+                  &abs_bound);
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              const double want =
+                  expected[static_cast<size_t>(i * n + j)] +
+                  c0[static_cast<size_t>(i * ldc + j)];
+              // The accumulate-into-C add rounds at the magnitude of C too.
+              const double tolerance = ReductionTolerance(
+                  abs_bound[static_cast<size_t>(i * n + j)] +
+                      std::abs(
+                          c0[static_cast<size_t>(i * ldc + j)]),
+                  k + 1);
+              EXPECT_NEAR(c[static_cast<size_t>(i * ldc + j)], want,
+                          tolerance)
+                  << backend->name << " m=" << m << " k=" << k << " n=" << n
+                  << " at (" << i << "," << j << ")";
+            }
+          }
+          // Padding between rows must be untouched.
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = n; j < ldc; ++j) {
+              EXPECT_EQ(c[static_cast<size_t>(i * ldc + j)],
+                        c0[static_cast<size_t>(i * ldc + j)])
+                  << backend->name << " padding at (" << i << "," << j << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Full Gemm/GemmTransA/GemmTransB under every backend vs the scalar
+// triple-loop reference, at remainder and block-crossing shapes.
+class GemmGoldenSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {
+};
+
+TEST_P(GemmGoldenSweep, AllBackendsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  const std::vector<float> a = RandomVector(m * k, 40 + m + k);
+  const std::vector<float> b = RandomVector(k * n, 50 + k + n);
+  std::vector<float> expected(static_cast<size_t>(m * n));
+  GemmReference(a.data(), b.data(), expected.data(), m, k, n);
+  // Column max |A||B| bound: one tolerance per output (worst case row).
+  double abs_bound = 0.0;
+  for (int64_t i = 0; i < m * k; ++i) abs_bound += std::abs(a[i]);
+  for (const simd::Kernels* backend : Backends()) {
+    simd::ScopedKernelsOverride override_backend(*backend);
+    std::vector<float> actual(static_cast<size_t>(m * n), 7.25f);
+    Gemm(a.data(), b.data(), actual.data(), m, k, n);
+    for (int64_t i = 0; i < m * n; ++i) {
+      EXPECT_NEAR(actual[static_cast<size_t>(i)],
+                  expected[static_cast<size_t>(i)],
+                  1e-4 * (std::abs(expected[static_cast<size_t>(i)]) +
+                          std::sqrt(static_cast<double>(k))))
+          << backend->name << " m=" << m << " k=" << k << " n=" << n
+          << " flat index " << i;
+    }
+    // accumulate=true adds on top of the previous result.
+    Gemm(a.data(), b.data(), actual.data(), m, k, n, /*accumulate=*/true);
+    for (int64_t i = 0; i < m * n; ++i) {
+      EXPECT_NEAR(actual[static_cast<size_t>(i)],
+                  2.0 * expected[static_cast<size_t>(i)],
+                  2e-4 * (std::abs(expected[static_cast<size_t>(i)]) +
+                          std::sqrt(static_cast<double>(k))))
+          << backend->name << " accumulate, flat index " << i;
+    }
+  }
+}
+
+TEST_P(GemmGoldenSweep, TransposedVariantsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  const std::vector<float> at = RandomVector(k * m, 60 + m + k);  // KxM
+  const std::vector<float> b = RandomVector(k * n, 70 + k + n);   // KxN
+  const std::vector<float> bt = RandomVector(n * k, 80 + k + n);  // NxK
+  const std::vector<float> a = RandomVector(m * k, 90 + m + n);   // MxK
+  // Explicit transposes for the reference.
+  std::vector<float> a_mk(static_cast<size_t>(m * k));
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < m; ++j) a_mk[j * k + i] = at[i * m + j];
+  }
+  std::vector<float> b_kn(static_cast<size_t>(k * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < k; ++j) b_kn[j * n + i] = bt[i * k + j];
+  }
+  std::vector<float> expected_ta(static_cast<size_t>(m * n));
+  GemmReference(a_mk.data(), b.data(), expected_ta.data(), m, k, n);
+  std::vector<float> expected_tb(static_cast<size_t>(m * n));
+  GemmReference(a.data(), b_kn.data(), expected_tb.data(), m, k, n);
+  for (const simd::Kernels* backend : Backends()) {
+    simd::ScopedKernelsOverride override_backend(*backend);
+    std::vector<float> actual(static_cast<size_t>(m * n));
+    GemmTransA(at.data(), b.data(), actual.data(), m, k, n);
+    for (int64_t i = 0; i < m * n; ++i) {
+      EXPECT_NEAR(actual[static_cast<size_t>(i)],
+                  expected_ta[static_cast<size_t>(i)],
+                  1e-4 * (std::abs(expected_ta[static_cast<size_t>(i)]) +
+                          std::sqrt(static_cast<double>(k))))
+          << backend->name << " TransA flat index " << i;
+    }
+    GemmTransB(a.data(), bt.data(), actual.data(), m, k, n);
+    for (int64_t i = 0; i < m * n; ++i) {
+      EXPECT_NEAR(actual[static_cast<size_t>(i)],
+                  expected_tb[static_cast<size_t>(i)],
+                  1e-4 * (std::abs(expected_tb[static_cast<size_t>(i)]) +
+                          std::sqrt(static_cast<double>(k))))
+          << backend->name << " TransB flat index " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmGoldenSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 3, 7),
+                      std::make_tuple(3, 7, 17), std::make_tuple(7, 17, 3),
+                      std::make_tuple(17, 7, 1), std::make_tuple(17, 17, 17),
+                      std::make_tuple(5, 129, 33),
+                      std::make_tuple(65, 40, 31),
+                      std::make_tuple(9, 257, 15)));
+
+TEST(GoldenKernels, LshHashSignsMatchDoubleProjection) {
+  const int64_t dim = 37;  // remainder lanes in the projection GEMM
+  const int num_hashes = 24;
+  LshFamily family;
+  ASSERT_TRUE(LshFamily::Create(dim, num_hashes, 17, &family).ok());
+  const std::vector<float>& planes_t = family.hyperplanes_t();
+  for (const simd::Kernels* backend : Backends()) {
+    simd::ScopedKernelsOverride override_backend(*backend);
+    for (int trial = 0; trial < 32; ++trial) {
+      const std::vector<float> row =
+          RandomVector(dim, 4000 + static_cast<uint64_t>(trial));
+      const LshSignature sig = family.Hash(row.data());
+      for (int h = 0; h < num_hashes; ++h) {
+        double projection = 0.0;
+        for (int64_t j = 0; j < dim; ++j) {
+          projection += static_cast<double>(row[static_cast<size_t>(j)]) *
+                        planes_t[static_cast<size_t>(j) * num_hashes + h];
+        }
+        // Skip sign checks inside the rounding ambiguity band.
+        if (std::abs(projection) < 1e-4) continue;
+        const bool bit = (sig.words[h >> 6] >> (h & 63)) & 1;
+        EXPECT_EQ(bit, projection > 0.0)
+            << backend->name << " trial=" << trial << " h=" << h;
+      }
+    }
+  }
+}
+
+TEST(GoldenKernels, LshBatchedHashMatchesPerRowOnEveryBackend) {
+  const int64_t dim = 29, rows = 21;
+  LshFamily family;
+  ASSERT_TRUE(LshFamily::Create(dim, 48, 23, &family).ok());
+  const std::vector<float> data = RandomVector(rows * dim, 4500);
+  for (const simd::Kernels* backend : Backends()) {
+    simd::ScopedKernelsOverride override_backend(*backend);
+    std::vector<LshSignature> batched;
+    family.HashRows(data.data(), rows, dim, &batched);
+    for (int64_t i = 0; i < rows; ++i) {
+      EXPECT_EQ(batched[static_cast<size_t>(i)],
+                family.Hash(data.data() + i * dim))
+          << backend->name << " row " << i;
+    }
+  }
+}
+
+TEST(GoldenKernels, NormalizeRowsMatchesDoubleReference) {
+  for (const simd::Kernels* backend : Backends()) {
+    simd::ScopedKernelsOverride override_backend(*backend);
+    for (const int64_t dim : {int64_t{1}, int64_t{3}, int64_t{7}, int64_t{17},
+                              int64_t{33}, int64_t{100}}) {
+      const int64_t rows = 5;
+      const int64_t stride = dim + 2;
+      std::vector<float> data = RandomVector(rows * stride, 5000 + dim);
+      // Row 2 is exactly zero: must stay untouched.
+      for (int64_t j = 0; j < dim; ++j) data[static_cast<size_t>(2 * stride + j)] = 0.0f;
+      std::vector<float> original = data;
+      NormalizeRowsInPlace(data.data(), rows, dim, stride);
+      for (int64_t i = 0; i < rows; ++i) {
+        double norm = 0.0;
+        for (int64_t j = 0; j < dim; ++j) {
+          const double v = original[static_cast<size_t>(i * stride + j)];
+          norm += v * v;
+        }
+        norm = std::sqrt(norm);
+        for (int64_t j = 0; j < dim; ++j) {
+          const float got = data[static_cast<size_t>(i * stride + j)];
+          const float before = original[static_cast<size_t>(i * stride + j)];
+          if (i == 2) {
+            EXPECT_EQ(got, before) << backend->name << " zero row, j=" << j;
+          } else {
+            EXPECT_NEAR(got, before / norm, 1e-5)
+                << backend->name << " dim=" << dim << " row=" << i
+                << " j=" << j;
+          }
+        }
+        // Stride padding untouched.
+        for (int64_t j = dim; j < stride; ++j) {
+          EXPECT_EQ(data[static_cast<size_t>(i * stride + j)],
+                    original[static_cast<size_t>(i * stride + j)])
+              << backend->name << " padding";
+        }
+      }
+    }
+  }
+}
+
+// The clustered forward (hash + centroid GEMM + gather/scatter) and the
+// reuse backward (per-cluster sum/average reductions + scatter) compared
+// across backends: clustering must be identical, tensors within tolerance.
+TEST(GoldenKernels, ClusteredMatmulAndBackwardScalarVsSimd) {
+  const int64_t n = 40, k = 20, m = 6, l = 7;  // blocks of length 7, 7, 6
+  Rng rng(31);
+  Tensor x = Tensor::RandomGaussian(Shape({n, k}), &rng);
+  Tensor weight = Tensor::RandomGaussian(Shape({k, m}), &rng);
+  Tensor dy = Tensor::RandomGaussian(Shape({n, m}), &rng);
+  auto families = BlockLshFamilies::Create(k, l, 12, 37);
+  ASSERT_TRUE(families.ok());
+
+  simd::ScopedKernelsOverride scalar_override(simd::Scalar());
+  ForwardReuseResult scalar_forward =
+      ClusteredMatmulForward(*families, x.data(), n, weight, nullptr, n,
+                             nullptr);
+  BackwardReuseResult scalar_backward =
+      ReuseBackward(scalar_forward.clustering, weight, dy);
+
+  for (const simd::Kernels* backend : Backends()) {
+    simd::ScopedKernelsOverride override_backend(*backend);
+    ForwardReuseResult forward =
+        ClusteredMatmulForward(*families, x.data(), n, weight, nullptr, n,
+                               nullptr);
+    ASSERT_EQ(forward.clustering.blocks.size(),
+              scalar_forward.clustering.blocks.size());
+    for (size_t bi = 0; bi < forward.clustering.blocks.size(); ++bi) {
+      EXPECT_EQ(forward.clustering.blocks[bi].clustering.assignment,
+                scalar_forward.clustering.blocks[bi].clustering.assignment)
+          << backend->name << " block " << bi
+          << ": clustering diverged between backends";
+    }
+    EXPECT_LT(MaxAbsDiff(forward.y_rows, scalar_forward.y_rows), 1e-3f)
+        << backend->name;
+
+    BackwardReuseResult backward =
+        ReuseBackward(forward.clustering, weight, dy);
+    EXPECT_LT(MaxAbsDiff(backward.grad_weight, scalar_backward.grad_weight),
+              1e-3f)
+        << backend->name;
+    EXPECT_LT(MaxAbsDiff(backward.grad_x, scalar_backward.grad_x), 1e-3f)
+        << backend->name;
+    EXPECT_LT(MaxAbsDiff(backward.grad_bias, scalar_backward.grad_bias),
+              1e-3f)
+        << backend->name;
+  }
+}
+
+// End-to-end: finite-difference gradient check of ReuseConv2d with the
+// active (SIMD) backend, near-singleton clustering so the reuse backward
+// is the exact gradient of the clustered forward.
+TEST(GoldenKernels, ReuseConv2dGradientCheckWithSimdActive) {
+  Conv2dConfig config;
+  config.in_channels = 2;
+  config.out_channels = 3;
+  config.kernel = 3;
+  config.stride = 1;
+  config.pad = 1;
+  config.in_height = 5;
+  config.in_width = 5;
+  ReuseConfig reuse;
+  reuse.sub_vector_length = 0;
+  reuse.num_hashes = 96;
+  Rng rng(41);
+  ReuseConv2d layer("conv_simd", config, reuse, &rng);
+  Rng data_rng(42);
+  Tensor input = Tensor::RandomGaussian(Shape({1, 2, 5, 5}), &data_rng);
+  testutil::CheckGradients(&layer, input);
+}
+
+}  // namespace
+}  // namespace adr

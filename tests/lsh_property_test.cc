@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include "clustering/lsh.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
+#include "tests/kernel_harness.h"
 #include "util/rng.h"
 
 namespace adr {
@@ -117,6 +119,86 @@ TEST(LshPropertyTest, SignatureStableAcrossBatchSplits) {
               batched[static_cast<size_t>(i)]);
     EXPECT_EQ(second_half[static_cast<size_t>(i)],
               batched[static_cast<size_t>(16 + i)]);
+  }
+}
+
+// Fuzz-style invariance properties of the sign hash, checked on every
+// SIMD backend: the signature depends only on projection signs, so it is
+// invariant under positive scaling of the row, and negating the row flips
+// every bit. Exercised over many random rows, dimensions with remainder
+// lanes, and scale factors spanning five orders of magnitude.
+TEST(LshPropertyTest, SignatureInvariantUnderPositiveScaling) {
+  const int h = 48;
+  for (const simd::Kernels* backend : testutil::Backends()) {
+    simd::ScopedKernelsOverride override_backend(*backend);
+    for (const int64_t dim : {int64_t{7}, int64_t{17}, int64_t{33}}) {
+      LshFamily family;
+      ASSERT_TRUE(
+          LshFamily::Create(dim, h, 100 + static_cast<uint64_t>(dim), &family)
+              .ok());
+      for (int trial = 0; trial < 50; ++trial) {
+        const std::vector<float> row = testutil::RandomVector(
+            dim, 9000 + static_cast<uint64_t>(trial) * 3 +
+                     static_cast<uint64_t>(dim));
+        const LshSignature sig = family.Hash(row.data());
+        for (const float scale : {1e-3f, 0.25f, 3.0f, 17.5f, 100.0f}) {
+          std::vector<float> scaled = row;
+          for (float& v : scaled) v *= scale;
+          EXPECT_EQ(family.Hash(scaled.data()), sig)
+              << backend->name << " dim=" << dim << " trial=" << trial
+              << " scale=" << scale;
+        }
+      }
+    }
+  }
+}
+
+TEST(LshPropertyTest, NegationFlipsEveryBit) {
+  const int64_t dim = 23;
+  const int h = 48;
+  LshFamily family;
+  ASSERT_TRUE(LshFamily::Create(dim, h, 13, &family).ok());
+  for (const simd::Kernels* backend : testutil::Backends()) {
+    simd::ScopedKernelsOverride override_backend(*backend);
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::vector<float> row =
+          testutil::RandomVector(dim, 9500 + static_cast<uint64_t>(trial));
+      std::vector<float> negated = row;
+      for (float& v : negated) v = -v;
+      const LshSignature sig = family.Hash(row.data());
+      const LshSignature neg = family.Hash(negated.data());
+      // IEEE negation is exact, so every projection flips sign exactly
+      // (the > 0 threshold makes exact zeros flip too, but Gaussian data
+      // never lands on exactly zero).
+      EXPECT_EQ(MatchingBits(sig, neg, h), 0)
+          << backend->name << " trial=" << trial;
+    }
+  }
+}
+
+TEST(LshPropertyTest, SignaturesIdenticalAcrossBackends) {
+  const int64_t dim = 37;
+  const int h = 96;
+  LshFamily family;
+  ASSERT_TRUE(LshFamily::Create(dim, h, 21, &family).ok());
+  Rng rng(77);
+  Tensor data = Tensor::RandomGaussian(Shape({64, dim}), &rng);
+
+  std::vector<LshSignature> scalar_sigs;
+  {
+    simd::ScopedKernelsOverride scalar_override(simd::Scalar());
+    family.HashRows(data.data(), 64, dim, &scalar_sigs);
+  }
+  for (const simd::Kernels* backend : testutil::Backends()) {
+    simd::ScopedKernelsOverride override_backend(*backend);
+    std::vector<LshSignature> sigs;
+    family.HashRows(data.data(), 64, dim, &sigs);
+    for (int64_t i = 0; i < 64; ++i) {
+      EXPECT_EQ(sigs[static_cast<size_t>(i)],
+                scalar_sigs[static_cast<size_t>(i)])
+          << backend->name << " row " << i
+          << ": backend changed a signature (cluster IDs would diverge)";
+    }
   }
 }
 

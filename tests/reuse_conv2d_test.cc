@@ -68,6 +68,39 @@ TEST(ReuseConv2dTest, BackwardMatchesConv2dInSingletonLimit) {
             1e-4f);
 }
 
+TEST(ReuseConv2dTest, SingletonClusteringIsExactDifferential) {
+  // H = 128 hashes (the maximum) drives every cluster to a single member
+  // (r_c = 1): the clustered forward and backward then compute exactly
+  // what Conv2d computes, up to SIMD accumulation-order rounding. This
+  // pins the whole reuse pipeline (hash, gather, centroid GEMM, scatter,
+  // cluster reductions) against the dense reference.
+  ReuseConfig singleton;
+  singleton.sub_vector_length = 0;  // L = K: one block
+  singleton.num_hashes = 128;
+  Rng rng1(23), rng2(23);
+  Conv2d baseline("conv", SmallConv(), &rng1);
+  ReuseConv2d reuse("conv_r", SmallConv(), singleton, &rng2);
+  reuse.CopyWeightsFrom(baseline);
+
+  Rng data_rng(24);
+  Tensor in = Tensor::RandomGaussian(Shape({2, 2, 6, 6}), &data_rng);
+  Tensor grad_out = Tensor::RandomGaussian(Shape({2, 4, 6, 6}), &data_rng);
+
+  baseline.Forward(in, true);
+  Tensor exact_gin = baseline.Backward(grad_out);
+  Tensor actual = reuse.Forward(in, true);
+  Tensor reuse_gin = reuse.Backward(grad_out);
+
+  // Gaussian rows essentially never collide under 128 hyperplanes.
+  EXPECT_GT(reuse.stats().avg_remaining_ratio, 0.999);
+  EXPECT_LT(MaxAbsDiff(actual, baseline.Forward(in, false)), 1e-4f);
+  EXPECT_LT(MaxAbsDiff(reuse_gin, exact_gin), 1e-4f);
+  EXPECT_LT(MaxAbsDiff(*reuse.Gradients()[0], *baseline.Gradients()[0]),
+            1e-4f);
+  EXPECT_LT(MaxAbsDiff(*reuse.Gradients()[1], *baseline.Gradients()[1]),
+            1e-4f);
+}
+
 TEST(ReuseConv2dTest, ExactBackwardFlagMatchesConv2dAlways) {
   // Even with coarse clustering, exact_backward must reproduce Conv2d's
   // gradients (the forward output still differs — only backward is exact).
