@@ -159,6 +159,123 @@ void BM_ClusterReuseCacheWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterReuseCacheWarm)->Apply(ThreadsOnlyArgs);
 
+// Conv-shaped workload for the fused-vs-materialized comparison: a
+// spatially periodic image (period 4) whose interior im2col rows repeat,
+// scaled per image (signatures are scale-invariant, so clusters recur).
+// K = 16*5*5 = 400 matches the flat Workload, N = 8*16*16 = 2048.
+struct ConvWorkload {
+  ConvGeometry geo;
+  Tensor input;
+  Tensor w;
+  static constexpr int64_t kM = 64;
+
+  ConvWorkload() {
+    geo.batch = 8;
+    geo.in_channels = 16;
+    geo.in_height = 16;
+    geo.in_width = 16;
+    geo.kernel_h = 5;
+    geo.kernel_w = 5;
+    geo.stride = 1;
+    geo.pad = 2;
+    Rng rng(19);
+    Tensor pattern = Tensor::RandomGaussian(
+        Shape({geo.in_channels, 4, 4}), &rng);
+    input = Tensor(Shape({geo.batch, geo.in_channels, geo.in_height,
+                          geo.in_width}));
+    float* dst = input.data();
+    const float* pat = pattern.data();
+    for (int64_t n = 0; n < geo.batch; ++n) {
+      const float scale = 0.5f + 0.25f * static_cast<float>(n);
+      for (int64_t c = 0; c < geo.in_channels; ++c) {
+        for (int64_t y = 0; y < geo.in_height; ++y) {
+          for (int64_t x = 0; x < geo.in_width; ++x) {
+            *dst++ = scale * pat[(c * 4 + y % 4) * 4 + x % 4];
+          }
+        }
+      }
+    }
+    w = Tensor::RandomGaussian(Shape({geo.unfolded_cols(), kM}), &rng);
+  }
+};
+
+ConvWorkload& SharedConvWorkload() {
+  static ConvWorkload* workload = new ConvWorkload();
+  return *workload;
+}
+
+// Materialized pipeline: im2col the whole batch, then cluster + gather
+// GEMM — the pre-fusion data flow, on the same arena-backed core.
+void BM_MaterializedClusteredForward(benchmark::State& state) {
+  SetupThreads(state);
+  ConvWorkload& wl = SharedConvWorkload();
+  const int64_t l = state.range(1);
+  const int h = static_cast<int>(state.range(2));
+  const int64_t n = wl.geo.unfolded_rows();
+  const int64_t k = wl.geo.unfolded_cols();
+  auto families = BlockLshFamilies::Create(k, l, h, 5);
+  if (!families.ok()) {
+    state.SkipWithError(families.status().ToString().c_str());
+    return;
+  }
+  WorkspaceArena arena;
+  for (auto _ : state) {
+    arena.Reset();
+    float* cols = arena.AllocFloats(n * k);
+    Im2Col(wl.geo, wl.input.data(), cols);
+    float* y = arena.AllocFloats(n * ConvWorkload::kM);
+    ReuseClustering clustering;
+    ForwardReuseStats stats;
+    ClusteredMatmulForwardInto(*families, cols, n, wl.w, nullptr, n,
+                               nullptr, &arena, y, &clustering, &stats);
+    benchmark::DoNotOptimize(y);
+  }
+  state.counters["peak_workspace_bytes"] =
+      static_cast<double>(arena.reserved_bytes());
+  state.SetItemsProcessed(state.iterations() * n * k * ConvWorkload::kM);
+}
+BENCHMARK(BM_MaterializedClusteredForward)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      ThreadsLHArgs(b, {{100, 8}, {25, 12}});
+    });
+
+// Fused tiled pipeline on the identical workload: im2col rows stream
+// straight into hashing, the N x K matrix never exists. Same bits out
+// (see fused_forward_test), far smaller peak_workspace_bytes.
+void BM_FusedClusteredForward(benchmark::State& state) {
+  SetupThreads(state);
+  ConvWorkload& wl = SharedConvWorkload();
+  const int64_t l = state.range(1);
+  const int h = static_cast<int>(state.range(2));
+  const int64_t n = wl.geo.unfolded_rows();
+  const int64_t k = wl.geo.unfolded_cols();
+  auto families = BlockLshFamilies::Create(k, l, h, 5);
+  if (!families.ok()) {
+    state.SkipWithError(families.status().ToString().c_str());
+    return;
+  }
+  WorkspaceArena arena;
+  StreamingSubVectorClusterer clusterer;
+  for (auto _ : state) {
+    arena.Reset();
+    float* y = arena.AllocFloats(n * ConvWorkload::kM);
+    ReuseClustering clustering;
+    ForwardReuseStats stats;
+    FusedClusteredForward(*families, wl.geo, wl.input.data(), wl.w,
+                          nullptr, n, nullptr, &arena, &clusterer, y,
+                          &clustering, &stats);
+    benchmark::DoNotOptimize(y);
+    clusterer.Recycle(std::move(clustering));
+  }
+  state.counters["peak_workspace_bytes"] =
+      static_cast<double>(arena.reserved_bytes());
+  state.SetItemsProcessed(state.iterations() * n * k * ConvWorkload::kM);
+}
+BENCHMARK(BM_FusedClusteredForward)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      ThreadsLHArgs(b, {{100, 8}, {25, 12}});
+    });
+
 void BM_ExactDedup(benchmark::State& state) {
   SetupThreads(state);
   Workload& wl = SharedWorkload();

@@ -31,8 +31,14 @@ void ScatterRows(const Tensor& cluster_rows, const Clustering& clustering,
                  float* out, int64_t row_stride) {
   ADR_CHECK_EQ(cluster_rows.shape().rank(), 2);
   ADR_CHECK_EQ(cluster_rows.shape()[0], clustering.num_clusters());
-  const int64_t row_dim = cluster_rows.shape()[1];
-  const float* src = cluster_rows.data();
+  ScatterRows(cluster_rows.data(), cluster_rows.shape()[1], clustering, out,
+              row_stride);
+}
+
+void ScatterRows(const float* cluster_rows, int64_t row_dim,
+                 const Clustering& clustering, float* out,
+                 int64_t row_stride) {
+  const float* src = cluster_rows;
   const int64_t n = clustering.num_rows();
   // Each output row is written by exactly one index: row chunks are
   // race-free and the result is thread-count independent.

@@ -41,6 +41,12 @@ Tensor ComputeCentroids(const float* data, int64_t num_rows, int64_t row_dim,
 void ScatterRows(const Tensor& cluster_rows, const Clustering& clustering,
                  float* out, int64_t row_stride);
 
+/// \brief Raw-pointer ScatterRows for arena-backed buffers; `cluster_rows`
+/// is |C| x `row_dim` row-major.
+void ScatterRows(const float* cluster_rows, int64_t row_dim,
+                 const Clustering& clustering, float* out,
+                 int64_t row_stride);
+
 }  // namespace adr
 
 #endif  // ADR_CLUSTERING_CLUSTERING_H_

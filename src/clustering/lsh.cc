@@ -55,39 +55,46 @@ LshSignature LshFamily::Hash(const float* row) const {
 void LshFamily::HashRows(const float* data, int64_t num_rows,
                          int64_t row_stride,
                          std::vector<LshSignature>* out) const {
-  out->assign(static_cast<size_t>(num_rows), LshSignature{});
+  out->resize(static_cast<size_t>(num_rows));
+  std::vector<float> scratch(
+      static_cast<size_t>(ScratchFloats(num_rows, row_stride)));
+  HashRowsScratch(data, num_rows, row_stride, scratch.data(), out->data());
+}
+
+void LshFamily::HashRowsScratch(const float* data, int64_t num_rows,
+                                int64_t row_stride, float* scratch,
+                                LshSignature* out) const {
   // Batched formulation: the projections are one GEMM
   // P = X * V (X is num_rows x dim, V dimension-major dim x H), followed
   // by sign-packing — far faster than per-row dot products, especially
   // for the short sub-vectors (small dim) adaptive deep reuse favours.
-  std::vector<float> projections(
-      static_cast<size_t>(num_rows) * num_hashes_);
-  if (row_stride == dim_) {
-    Gemm(data, hyperplanes_t_.data(), projections.data(), num_rows, dim_,
-         num_hashes_);
-  } else {
+  float* projections = scratch;
+  const float* gemm_in = data;
+  if (row_stride != dim_) {
     // Compact the strided rows first so the GEMM streams contiguously;
     // the copy is O(N*L), negligible next to the O(N*L*H) projections.
-    std::vector<float> compact(static_cast<size_t>(num_rows) * dim_);
+    float* compact = scratch + num_rows * num_hashes_;
     ParallelFor(num_rows, GrainForCost(dim_),
                 [&](int64_t begin, int64_t end) {
                   for (int64_t i = begin; i < end; ++i) {
                     std::copy_n(data + i * row_stride, dim_,
-                                compact.data() + i * dim_);
+                                compact + i * dim_);
                   }
                 });
-    Gemm(compact.data(), hyperplanes_t_.data(), projections.data(),
-         num_rows, dim_, num_hashes_);
+    gemm_in = compact;
   }
+  Gemm(gemm_in, hyperplanes_t_.data(), projections, num_rows, dim_,
+       num_hashes_);
   // Sign-packing per row chunk: each row owns its signature slot.
   ParallelFor(num_rows, GrainForCost(num_hashes_),
               [&](int64_t begin, int64_t end) {
                 for (int64_t i = begin; i < end; ++i) {
-                  const float* row = projections.data() + i * num_hashes_;
-                  LshSignature& sig = (*out)[static_cast<size_t>(i)];
+                  const float* row = projections + i * num_hashes_;
+                  LshSignature sig;
                   for (int h = 0; h < num_hashes_; ++h) {
                     if (row[h] > 0.0f) sig.SetBit(h);
                   }
+                  out[i] = sig;
                 }
               });
 }

@@ -73,6 +73,22 @@ class LshFamily {
   void HashRows(const float* data, int64_t num_rows, int64_t row_stride,
                 std::vector<LshSignature>* out) const;
 
+  /// \brief HashRows into caller-owned buffers — the allocation-free form
+  /// the fused tile pipeline feeds from a workspace arena. `scratch` must
+  /// hold ScratchFloats(num_rows, row_stride) floats; `out` receives
+  /// `num_rows` signatures. Same projection GEMM and sign-packing as
+  /// HashRows, so the signatures are bit-identical.
+  void HashRowsScratch(const float* data, int64_t num_rows,
+                       int64_t row_stride, float* scratch,
+                       LshSignature* out) const;
+
+  /// \brief Scratch floats HashRowsScratch needs: projections, plus a
+  /// compacted copy of the rows when they are strided.
+  int64_t ScratchFloats(int64_t num_rows, int64_t row_stride) const {
+    return num_rows * num_hashes_ +
+           (row_stride == dim_ ? 0 : num_rows * dim_);
+  }
+
   /// \brief Dimension-major hyperplanes, hyperplanes_t()[j * num_hashes() +
   /// h]: the projection operand of the HashRows GEMM. Exposed so the
   /// golden-kernel harness can recompute projections at higher precision.

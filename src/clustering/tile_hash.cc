@@ -1,0 +1,32 @@
+#include "clustering/tile_hash.h"
+
+#include <algorithm>
+
+#include "clustering/normalize.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace adr {
+
+void TileRowHasher::HashTile(const float* data, int64_t num_rows,
+                             int64_t row_stride, float* scratch,
+                             LshSignature* sigs) const {
+  ADR_CHECK(family_ != nullptr);
+  if (!normalize_) {
+    family_->HashRowsScratch(data, num_rows, row_stride, scratch, sigs);
+    return;
+  }
+  // Compact into scratch (beyond the projections region), normalize the
+  // copy, then hash the contiguous normalized rows.
+  const int64_t dim = family_->dim();
+  float* compact = scratch + num_rows * family_->num_hashes();
+  ParallelFor(num_rows, GrainForCost(dim), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      std::copy_n(data + i * row_stride, dim, compact + i * dim);
+    }
+  });
+  NormalizeRowsInPlace(compact, num_rows, dim, dim);
+  family_->HashRowsScratch(compact, num_rows, dim, scratch, sigs);
+}
+
+}  // namespace adr

@@ -1,0 +1,59 @@
+// Streaming normalize+hash over row tiles — the clustering half of the
+// fused im2col→hash pipeline.
+//
+// The fused forward never materializes the N x K unfolded matrix; it
+// produces L2-sized row tiles and hashes each tile's sub-vector columns
+// straight out of the tile buffer. TileRowHasher wraps one block's
+// LshFamily with arena-friendly (caller-owned scratch) hashing and an
+// optional in-scratch L2 normalization.
+//
+// Normalization is OFF in the production path: sign-random-projection
+// signatures are invariant to positive row scaling (verified by
+// lsh_property_test), so hashing the raw rows gives the same clusters —
+// and, unlike normalize-then-hash, stays bit-identical to the
+// materialized ClusterSubVectors path, which also hashes raw rows.
+
+#ifndef ADR_CLUSTERING_TILE_HASH_H_
+#define ADR_CLUSTERING_TILE_HASH_H_
+
+#include <cstdint>
+
+#include "clustering/lsh.h"
+
+namespace adr {
+
+/// \brief Hashes row tiles of one sub-vector block without allocating.
+class TileRowHasher {
+ public:
+  TileRowHasher() = default;
+  explicit TileRowHasher(const LshFamily* family, bool normalize = false)
+      : family_(family), normalize_(normalize) {}
+
+  const LshFamily* family() const { return family_; }
+  bool normalize() const { return normalize_; }
+
+  /// \brief Scratch floats HashTile needs for `num_rows` rows at
+  /// `row_stride`. With normalization the rows are always compacted (the
+  /// normalize must not write back into the caller's tile).
+  int64_t ScratchFloats(int64_t num_rows, int64_t row_stride) const {
+    if (normalize_) {
+      return num_rows * (family_->num_hashes() + family_->dim());
+    }
+    return family_->ScratchFloats(num_rows, row_stride);
+  }
+
+  /// \brief Signatures of `num_rows` rows (stride `row_stride`) into
+  /// `sigs`; `scratch` must hold ScratchFloats(num_rows, row_stride)
+  /// floats. Without normalization this is exactly
+  /// LshFamily::HashRowsScratch.
+  void HashTile(const float* data, int64_t num_rows, int64_t row_stride,
+                float* scratch, LshSignature* sigs) const;
+
+ private:
+  const LshFamily* family_ = nullptr;
+  bool normalize_ = false;
+};
+
+}  // namespace adr
+
+#endif  // ADR_CLUSTERING_TILE_HASH_H_

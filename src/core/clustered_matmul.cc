@@ -100,55 +100,49 @@ int64_t ClusterReuseCache::TotalEntries() const {
   return total;
 }
 
-ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
-                                          const float* x, int64_t num_rows,
-                                          const Tensor& weight,
-                                          const Tensor* bias,
-                                          int64_t rows_per_group,
-                                          ClusterReuseCache* cache) {
-  const int64_t k = families.k();
-  ADR_CHECK_EQ(weight.shape().rank(), 2);
-  ADR_CHECK_EQ(weight.shape()[0], k);
+namespace {
+
+// The shared back half of every LSH forward: given a finished clustering,
+// consult the cross-batch cache, run one GEMM over the missed centroids
+// per block (gathered compactly when some clusters hit), scatter the
+// cluster outputs to the member rows, and add the bias. Both the
+// materialized and the fused pipelines call this, so their outputs agree
+// bit-for-bit whenever their clusterings do. `y` (num_rows x m) is
+// overwritten; transient buffers bump from `scratch`.
+void FinishForwardFromClustering(ReuseClustering* clustering,
+                                 const Tensor& weight, const Tensor* bias,
+                                 ClusterReuseCache* cache, int num_hashes,
+                                 ScratchAllocator* scratch, float* y,
+                                 ForwardReuseStats* stats) {
+  const int64_t num_rows = clustering->num_rows;
+  const int64_t k = clustering->num_cols;
   const int64_t m = weight.shape()[1];
-
-  ADR_TRACE_SPAN("ClusteredMatmulForward");
-  ForwardReuseResult result;
-  Timer timer;
-
-  // 1. Cluster all column blocks (hashing + grouping + centroids).
-  {
-    ADR_TRACE_SPAN("lsh_cluster");
-    result.clustering =
-        ClusterSubVectors(families, x, num_rows, rows_per_group);
-  }
-  result.stats.hash_seconds = timer.ElapsedSeconds();
-
-  result.y_rows = Tensor(Shape({num_rows, m}));
-  float* y = result.y_rows.data();
+  std::fill_n(y, static_cast<size_t>(num_rows * m), 0.0f);
 
   int64_t batch_clusters = 0;
   int64_t batch_reused = 0;
 
-  timer.Reset();
   ADR_TRACE_SPAN("centroid_gemm_scatter");
-  for (size_t bi = 0; bi < result.clustering.blocks.size(); ++bi) {
-    SubMatrixClustering& block = result.clustering.blocks[bi];
+  for (size_t bi = 0; bi < clustering->blocks.size(); ++bi) {
+    SubMatrixClustering& block = clustering->blocks[bi];
     const int64_t num_clusters = block.clustering.num_clusters();
     const int64_t length = block.length;
     const float* w_block = weight.data() + block.col_offset * m;
     batch_clusters += num_clusters;
 
-    // 2. Decide, per cluster, whether its output comes from the cache.
-    Tensor yc(Shape({num_clusters, m}));
-    std::vector<int64_t> miss_clusters;
-    miss_clusters.reserve(static_cast<size_t>(num_clusters));
+    // 1. Decide, per cluster, whether its output comes from the cache.
+    // Every yc row is written below (hit memcpy or GEMM), so the
+    // uninitialized scratch buffer is safe.
+    float* yc = scratch->Floats(num_clusters * m);
+    int32_t* miss_clusters = scratch->Int32(num_clusters);
+    int64_t num_miss = 0;
     if (cache != nullptr) {
       for (int64_t c = 0; c < num_clusters; ++c) {
         const ClusterReuseCache::Entry* entry =
             cache->Find(static_cast<int64_t>(bi), block.signatures[c]);
         if (entry != nullptr) {
           ADR_DCHECK(static_cast<int64_t>(entry->output.size()) == m);
-          std::memcpy(yc.data() + c * m, entry->output.data(),
+          std::memcpy(yc + c * m, entry->output.data(),
                       sizeof(float) * static_cast<size_t>(m));
           std::memcpy(block.centroids.data() + c * length,
                       entry->representative.data(),
@@ -156,50 +150,47 @@ ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
           block.reused_from_cache[static_cast<size_t>(c)] = true;
           ++batch_reused;
         } else {
-          miss_clusters.push_back(c);
+          miss_clusters[num_miss++] = static_cast<int32_t>(c);
         }
       }
     } else {
-      for (int64_t c = 0; c < num_clusters; ++c) miss_clusters.push_back(c);
+      for (int64_t c = 0; c < num_clusters; ++c) {
+        miss_clusters[num_miss++] = static_cast<int32_t>(c);
+      }
     }
 
-    // 3. One GEMM over the centroids that missed: y_c = x_c * W_I.
-    const int64_t num_miss = static_cast<int64_t>(miss_clusters.size());
+    // 2. One GEMM over the centroids that missed: y_c = x_c * W_I.
     if (num_miss > 0) {
       const bool all_miss = num_miss == num_clusters;
       if (all_miss) {
-        Gemm(block.centroids.data(), w_block, yc.data(), num_clusters,
-             length, m);
+        Gemm(block.centroids.data(), w_block, yc, num_clusters, length, m);
       } else {
         // Centroid gather: pack the missed centroids contiguously for one
         // GEMM, then scatter its rows back. Both sides write disjoint
         // rows per index, so row chunks parallelize deterministically.
-        Tensor compact(Shape({num_miss, length}));
+        float* compact = scratch->Floats(num_miss * length);
+        float* compact_y = scratch->Floats(num_miss * m);
         ParallelFor(num_miss, GrainForCost(length),
                     [&](int64_t begin, int64_t end) {
                       for (int64_t i = begin; i < end; ++i) {
                         std::memcpy(
-                            compact.data() + i * length,
+                            compact + i * length,
                             block.centroids.data() +
-                                miss_clusters[static_cast<size_t>(i)] * length,
+                                miss_clusters[i] * length,
                             sizeof(float) * static_cast<size_t>(length));
                       }
                     });
-        Tensor compact_y(Shape({num_miss, m}));
-        Gemm(compact.data(), w_block, compact_y.data(), num_miss, length, m);
+        Gemm(compact, w_block, compact_y, num_miss, length, m);
         ParallelFor(num_miss, GrainForCost(m),
                     [&](int64_t begin, int64_t end) {
                       for (int64_t i = begin; i < end; ++i) {
-                        std::memcpy(
-                            yc.data() +
-                                miss_clusters[static_cast<size_t>(i)] * m,
-                            compact_y.data() + i * m,
-                            sizeof(float) * static_cast<size_t>(m));
+                        std::memcpy(yc + miss_clusters[i] * m,
+                                    compact_y + i * m,
+                                    sizeof(float) * static_cast<size_t>(m));
                       }
                     });
       }
-      result.stats.macs_gemm +=
-          static_cast<double>(num_miss) * length * m;
+      stats->macs_gemm += static_cast<double>(num_miss) * length * m;
       if (cache != nullptr) {
         for (int64_t i = 0; i < num_miss; ++i) {
           const int64_t c = miss_clusters[i];
@@ -207,47 +198,142 @@ ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
           entry.representative.assign(
               block.centroids.data() + c * length,
               block.centroids.data() + (c + 1) * length);
-          entry.output.assign(yc.data() + c * m, yc.data() + (c + 1) * m);
+          entry.output.assign(yc + c * m, yc + (c + 1) * m);
           cache->Insert(static_cast<int64_t>(bi), block.signatures[c],
                         std::move(entry));
         }
       }
     }
 
-    // 4. Reconstruct: y[i] += y_c[cluster(i)].
-    ScatterClusterOutputs(yc.data(), block.clustering, num_rows, m, y);
-    result.stats.macs_scatter += static_cast<double>(num_rows) * m;
+    // 3. Reconstruct: y[i] += y_c[cluster(i)].
+    ScatterClusterOutputs(yc, block.clustering, num_rows, m, y);
+    stats->macs_scatter += static_cast<double>(num_rows) * m;
   }
 
   if (bias != nullptr) {
-    AddRowBias(*bias, &result.y_rows);
+    AddRowBias(bias->data(), y, num_rows, m);
   }
-  result.stats.gemm_seconds = timer.ElapsedSeconds();
 
   // Hash MACs: N * L_I * H per block = N * K * H in total.
   double hash_macs = 0.0;
-  for (const auto& block : result.clustering.blocks) {
-    hash_macs += static_cast<double>(num_rows) * block.length *
-                 families.family(0).num_hashes();
+  for (const auto& block : clustering->blocks) {
+    hash_macs += static_cast<double>(num_rows) * block.length * num_hashes;
   }
-  result.stats.macs_hash = hash_macs;
-  result.stats.macs_baseline = static_cast<double>(num_rows) * k * m;
-  result.stats.clusters_total = batch_clusters;
-  result.stats.clusters_reused = batch_reused;
-  result.stats.avg_remaining_ratio =
-      result.clustering.AverageRemainingRatio();
-  result.stats.batch_reuse_rate =
+  stats->macs_hash = hash_macs;
+  stats->macs_baseline = static_cast<double>(num_rows) * k * m;
+  stats->clusters_total = batch_clusters;
+  stats->clusters_reused = batch_reused;
+  stats->avg_remaining_ratio = clustering->AverageRemainingRatio();
+  stats->batch_reuse_rate =
       batch_clusters == 0 ? 0.0
                           : static_cast<double>(batch_reused) /
                                 static_cast<double>(batch_clusters);
+}
 
+void PublishCoreForwardMetrics(const ForwardReuseStats& stats) {
   MetricsRegistry& metrics = MetricsRegistry::Global();
   metrics.counter("core/clustered_forwards")->Increment();
-  metrics.counter("core/clusters_total")->Increment(batch_clusters);
-  metrics.counter("core/clusters_reused")->Increment(batch_reused);
-  metrics.histogram("core/hash_seconds")->Record(result.stats.hash_seconds);
-  metrics.histogram("core/gemm_seconds")->Record(result.stats.gemm_seconds);
+  metrics.counter("core/clusters_total")->Increment(stats.clusters_total);
+  metrics.counter("core/clusters_reused")
+      ->Increment(stats.clusters_reused);
+  metrics.histogram("core/hash_seconds")->Record(stats.hash_seconds);
+  metrics.histogram("core/gemm_seconds")->Record(stats.gemm_seconds);
+}
+
+}  // namespace
+
+void ClusteredMatmulForwardInto(const BlockLshFamilies& families,
+                                const float* x, int64_t num_rows,
+                                const Tensor& weight, const Tensor* bias,
+                                int64_t rows_per_group,
+                                ClusterReuseCache* cache,
+                                WorkspaceArena* arena, float* y,
+                                ReuseClustering* clustering,
+                                ForwardReuseStats* stats) {
+  ADR_CHECK_EQ(weight.shape().rank(), 2);
+  ADR_CHECK_EQ(weight.shape()[0], families.k());
+
+  ADR_TRACE_SPAN("ClusteredMatmulForward");
+  Timer timer;
+
+  // 1. Cluster all column blocks (hashing + grouping + centroids).
+  {
+    ADR_TRACE_SPAN("lsh_cluster");
+    *clustering = ClusterSubVectors(families, x, num_rows, rows_per_group);
+  }
+  stats->hash_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  ScratchAllocator scratch(arena);
+  FinishForwardFromClustering(clustering, weight, bias, cache,
+                              families.family(0).num_hashes(), &scratch, y,
+                              stats);
+  stats->gemm_seconds = timer.ElapsedSeconds();
+  PublishCoreForwardMetrics(*stats);
+}
+
+ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
+                                          const float* x, int64_t num_rows,
+                                          const Tensor& weight,
+                                          const Tensor* bias,
+                                          int64_t rows_per_group,
+                                          ClusterReuseCache* cache) {
+  ForwardReuseResult result;
+  result.y_rows = Tensor(Shape({num_rows, weight.shape()[1]}));
+  ClusteredMatmulForwardInto(families, x, num_rows, weight, bias,
+                             rows_per_group, cache, /*arena=*/nullptr,
+                             result.y_rows.data(), &result.clustering,
+                             &result.stats);
   return result;
+}
+
+void FusedClusteredForward(const BlockLshFamilies& families,
+                           const ConvGeometry& geo, const float* input_nchw,
+                           const Tensor& weight, const Tensor* bias,
+                           int64_t rows_per_group, ClusterReuseCache* cache,
+                           WorkspaceArena* arena,
+                           StreamingSubVectorClusterer* clusterer, float* y,
+                           ReuseClustering* clustering,
+                           ForwardReuseStats* stats) {
+  const int64_t n = geo.unfolded_rows();
+  const int64_t k = geo.unfolded_cols();
+  ADR_CHECK_EQ(k, families.k());
+  ADR_CHECK_EQ(weight.shape().rank(), 2);
+  ADR_CHECK_EQ(weight.shape()[0], k);
+  ADR_CHECK(clusterer != nullptr);
+
+  ADR_TRACE_SPAN("FusedClusteredForward");
+  Timer timer;
+  ScratchAllocator scratch(arena);
+
+  // 1. Stream L2-sized row tiles through im2col + hash + cluster; the
+  // unfolded matrix never exists. (Tile generation parallelizes over row
+  // sub-ranges; the hash GEMM inside ConsumeTile parallelizes itself.)
+  {
+    ADR_TRACE_SPAN("fused_tile_cluster");
+    clusterer->Begin(&families, n, rows_per_group);
+    const int64_t tile_rows = L2TileRows(k);
+    float* tile = scratch.Floats(tile_rows * k);
+    float* hash_scratch = scratch.Floats(clusterer->ScratchFloats(tile_rows));
+    for (int64_t row = 0; row < n; row += tile_rows) {
+      const int64_t rows = std::min(tile_rows, n - row);
+      ParallelFor(rows, 32, [&](int64_t begin, int64_t end) {
+        Im2ColRows(geo, input_nchw, row + begin, row + end, tile + begin * k);
+      });
+      clusterer->ConsumeTile(tile, row, rows, hash_scratch);
+    }
+    *clustering = clusterer->Finish();
+  }
+  stats->hash_seconds = timer.ElapsedSeconds();
+
+  // 2. Gather-GEMM over the centroids only, then scatter.
+  timer.Reset();
+  FinishForwardFromClustering(clustering, weight, bias, cache,
+                              families.family(0).num_hashes(), &scratch, y,
+                              stats);
+  stats->gemm_seconds = timer.ElapsedSeconds();
+  PublishCoreForwardMetrics(*stats);
+  MetricsRegistry::Global().counter("core/fused_forwards")->Increment();
 }
 
 ForwardReuseResult KMeansMatmulForward(

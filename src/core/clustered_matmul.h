@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "core/subvector_clustering.h"
+#include "tensor/im2col.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace_arena.h"
 
 namespace adr {
 
@@ -112,6 +114,39 @@ ForwardReuseResult ClusteredMatmulForward(const BlockLshFamilies& families,
                                           const Tensor* bias,
                                           int64_t rows_per_group,
                                           ClusterReuseCache* cache);
+
+/// \brief ClusteredMatmulForward writing into caller-owned buffers: `y`
+/// (num_rows x M, overwritten) and scratch bumped from `arena` (heap
+/// fallback when null). Bit-identical to ClusteredMatmulForward.
+void ClusteredMatmulForwardInto(const BlockLshFamilies& families,
+                                const float* x, int64_t num_rows,
+                                const Tensor& weight, const Tensor* bias,
+                                int64_t rows_per_group,
+                                ClusterReuseCache* cache,
+                                WorkspaceArena* arena, float* y,
+                                ReuseClustering* clustering,
+                                ForwardReuseStats* stats);
+
+/// \brief The fused, tiled forward: im2col rows are generated straight
+/// from the NCHW `input` in L2TileRows-sized tiles, hashed and clustered
+/// by the streaming `clusterer`, and only the |C| centroid rows ever meet
+/// the GEMM — the N x K unfolded matrix is never materialized, shifting
+/// the forward footprint from O(N*K) toward O(tile*K + |C|*K).
+///
+/// Signatures, clusterings, and `y` are bit-identical to
+/// ClusteredMatmulForward on the materialized Im2Col output (see
+/// StreamingSubVectorClusterer). `y` is num_rows x M, overwritten;
+/// `clusterer` must be caller-owned so its buffers (and the clustering
+/// returned here, via Recycle) persist across steps; scratch comes from
+/// `arena` (heap fallback when null).
+void FusedClusteredForward(const BlockLshFamilies& families,
+                           const ConvGeometry& geo, const float* input_nchw,
+                           const Tensor& weight, const Tensor* bias,
+                           int64_t rows_per_group, ClusterReuseCache* cache,
+                           WorkspaceArena* arena,
+                           StreamingSubVectorClusterer* clusterer, float* y,
+                           ReuseClustering* clustering,
+                           ForwardReuseStats* stats);
 
 /// \brief Same computation with k-means clustering instead of LSH — the
 /// high-quality/slow method of the paper's similarity-verification study

@@ -20,18 +20,21 @@ namespace {
 // bit-deterministic for 1, 2, or any number of threads.
 constexpr int64_t kReduceChunks = 8;
 
-// dy_sum[cl] = sum of dy rows assigned to cluster cl (Eq. 8).
+// dy_sum[cl] = sum of dy rows assigned to cluster cl (Eq. 8). `sums` and
+// `partials` (chunks * |C| * m floats) may be uninitialized; both are
+// zero-filled here before accumulation.
 void ClusterRowSums(const float* dy, const Clustering& clustering, int64_t n,
-                    int64_t m, float* sums) {
+                    int64_t m, float* partials, float* sums) {
   const simd::Kernels& kernels = simd::Active();
   const int64_t num_clusters = clustering.num_clusters();
   const int64_t chunks = std::min<int64_t>(kReduceChunks, n);
-  std::vector<float> partials(
-      static_cast<size_t>(chunks * num_clusters * m), 0.0f);
+  std::fill_n(partials, static_cast<size_t>(chunks * num_clusters * m),
+              0.0f);
+  std::fill_n(sums, static_cast<size_t>(num_clusters * m), 0.0f);
   ThreadPool::Global()->Run(chunks, [&](int64_t c) {
     const int64_t begin = c * n / chunks;
     const int64_t end = (c + 1) * n / chunks;
-    float* part = partials.data() + c * num_clusters * m;
+    float* part = partials + c * num_clusters * m;
     for (int64_t i = begin; i < end; ++i) {
       kernels.add(dy + i * m,
                   part + clustering.assignment[static_cast<size_t>(i)] * m,
@@ -45,8 +48,8 @@ void ClusterRowSums(const float* dy, const Clustering& clustering, int64_t n,
                 for (int64_t cl = cl_begin; cl < cl_end; ++cl) {
                   float* dst = sums + cl * m;
                   for (int64_t c = 0; c < chunks; ++c) {
-                    kernels.add(partials.data() + (c * num_clusters + cl) * m,
-                                dst, m);
+                    kernels.add(partials + (c * num_clusters + cl) * m, dst,
+                                m);
                   }
                 }
               });
@@ -54,39 +57,39 @@ void ClusterRowSums(const float* dy, const Clustering& clustering, int64_t n,
 
 }  // namespace
 
-BackwardReuseResult ReuseBackward(const ReuseClustering& clustering,
-                                  const Tensor& weight, const Tensor& dy) {
+void ReuseBackwardInto(const ReuseClustering& clustering,
+                       const Tensor& weight, const float* dy,
+                       WorkspaceArena* arena, float* grad_weight,
+                       float* grad_bias, float* grad_x,
+                       BackwardReuseStats* stats) {
   const int64_t n = clustering.num_rows;
   const int64_t k = clustering.num_cols;
   ADR_CHECK_EQ(weight.shape().rank(), 2);
   ADR_CHECK_EQ(weight.shape()[0], k);
   const int64_t m = weight.shape()[1];
-  ADR_CHECK(dy.shape() == Shape({n, m}));
 
   Timer timer;
-  BackwardReuseResult result;
-  result.grad_weight = Tensor(Shape({k, m}));
-  result.grad_x = Tensor(Shape({n, k}));
-  result.grad_bias = ColumnSums(dy);
+  ScratchAllocator scratch(arena);
+  ColumnSumsInto(dy, n, m, grad_bias);
 
-  const float* dy_data = dy.data();
   for (const SubMatrixClustering& block : clustering.blocks) {
     const int64_t num_clusters = block.clustering.num_clusters();
     const int64_t length = block.length;
     const float* w_block = weight.data() + block.col_offset * m;
+    const int64_t chunks = std::min<int64_t>(kReduceChunks, n);
 
     // dy_{c,s}: sum the dy rows of each cluster (Eq. 8).
-    Tensor dy_sum(Shape({num_clusters, m}));
-    float* sums = dy_sum.data();
-    ClusterRowSums(dy_data, block.clustering, n, m, sums);
-    result.stats.macs += static_cast<double>(n - num_clusters) * m;
+    float* sums = scratch.Floats(num_clusters * m);
+    float* partials = scratch.Floats(chunks * num_clusters * m);
+    ClusterRowSums(dy, block.clustering, n, m, partials, sums);
+    stats->macs += static_cast<double>(n - num_clusters) * m;
 
     // dW_I = x_c^T * dy_{c,s} (Eq. 10), written into rows
-    // [col_offset, col_offset + L) of dW.
+    // [col_offset, col_offset + L) of dW. The blocks tile [0, K), so dW
+    // is fully overwritten.
     GemmTransA(block.centroids.data(), sums,
-               result.grad_weight.data() + block.col_offset * m, length,
-               num_clusters, m);
-    result.stats.macs += static_cast<double>(num_clusters) * length * m;
+               grad_weight + block.col_offset * m, length, num_clusters, m);
+    stats->macs += static_cast<double>(num_clusters) * length * m;
 
     // dy_{c,sa}: average instead of sum (divide each row by N_l).
     const simd::Kernels& kernels = simd::Active();
@@ -102,17 +105,35 @@ BackwardReuseResult ReuseBackward(const ReuseClustering& clustering,
                 });
 
     // dx_c = dy_{c,sa} * W_I^T (Eq. 18).
-    Tensor dx_c(Shape({num_clusters, length}));
-    GemmTransB(sums, w_block, dx_c.data(), num_clusters, m, length);
-    result.stats.macs += static_cast<double>(num_clusters) * length * m;
+    float* dx_c = scratch.Floats(num_clusters * length);
+    GemmTransB(sums, w_block, dx_c, num_clusters, m, length);
+    stats->macs += static_cast<double>(num_clusters) * length * m;
 
-    // Scatter the centroid delta to every member row (Eq. 13).
-    ScatterRows(dx_c, block.clustering,
-                result.grad_x.data() + block.col_offset, k);
+    // Scatter the centroid delta to every member row (Eq. 13); column
+    // ranges tile [0, K), so dx is fully overwritten.
+    ScatterRows(dx_c, length, block.clustering, grad_x + block.col_offset,
+                k);
   }
 
-  result.stats.seconds = timer.ElapsedSeconds();
-  result.stats.macs_baseline = 2.0 * static_cast<double>(n) * k * m;
+  stats->seconds = timer.ElapsedSeconds();
+  stats->macs_baseline = 2.0 * static_cast<double>(n) * k * m;
+}
+
+BackwardReuseResult ReuseBackward(const ReuseClustering& clustering,
+                                  const Tensor& weight, const Tensor& dy) {
+  const int64_t n = clustering.num_rows;
+  const int64_t k = clustering.num_cols;
+  ADR_CHECK_EQ(weight.shape().rank(), 2);
+  const int64_t m = weight.shape()[1];
+  ADR_CHECK(dy.shape() == Shape({n, m}));
+
+  BackwardReuseResult result;
+  result.grad_weight = Tensor(Shape({k, m}));
+  result.grad_bias = Tensor(Shape({m}));
+  result.grad_x = Tensor(Shape({n, k}));
+  ReuseBackwardInto(clustering, weight, dy.data(), /*arena=*/nullptr,
+                    result.grad_weight.data(), result.grad_bias.data(),
+                    result.grad_x.data(), &result.stats);
   return result;
 }
 

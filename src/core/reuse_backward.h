@@ -9,6 +9,7 @@
 
 #include "core/subvector_clustering.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace_arena.h"
 
 namespace adr {
 
@@ -38,6 +39,17 @@ struct BackwardReuseResult {
 /// grad_bias is exact (column sums of dy), matching the baseline layer.
 BackwardReuseResult ReuseBackward(const ReuseClustering& clustering,
                                   const Tensor& weight, const Tensor& dy);
+
+/// \brief ReuseBackward into caller-owned buffers — the allocation-free
+/// form the conv layers drive from persistent gradients and a workspace
+/// arena. `dy` is N x M; `grad_weight` ([K, M]), `grad_bias` ([M]) and
+/// `grad_x` ([N, K]) are fully overwritten; per-block scratch bumps from
+/// `arena` (heap fallback when null). Bit-identical to ReuseBackward.
+void ReuseBackwardInto(const ReuseClustering& clustering,
+                       const Tensor& weight, const float* dy,
+                       WorkspaceArena* arena, float* grad_weight,
+                       float* grad_bias, float* grad_x,
+                       BackwardReuseStats* stats);
 
 }  // namespace adr
 

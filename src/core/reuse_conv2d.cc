@@ -1,5 +1,6 @@
 #include "core/reuse_conv2d.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/complexity_model.h"
@@ -71,59 +72,104 @@ ConvGeometry ReuseConv2d::Geometry(int64_t batch) const {
   return geo;
 }
 
-Tensor ReuseConv2d::Forward(const Tensor& input, bool /*training*/) {
+Tensor ReuseConv2d::Forward(const Tensor& input, bool training) {
   ADR_TRACE_SPAN("ReuseConv2d::Forward");
   const int64_t batch = input.shape()[0];
   const ConvGeometry geo = Geometry(batch);
   const int64_t n = geo.unfolded_rows();
   const int64_t k = geo.unfolded_cols();
+  const int64_t m = config_.out_channels;
 
-  Tensor cols(Shape({n, k}));
-  {
-    ADR_TRACE_SPAN("im2col");
-    Timer im2col_timer;
-    Im2Col(geo, input, &cols);
-    MetricsRegistry::Global()
-        .histogram(metric_prefix_ + "im2col_seconds")
-        ->Record(im2col_timer.ElapsedSeconds());
-  }
-  cached_batch_ = batch;
+  // One arena epoch spans Forward and the matching Backward; everything
+  // handed out since the previous Reset() is invalidated here.
+  arena_.Reset();
+  cached_cols_data_ = nullptr;
+  // Donate last step's clustering buffers before this step builds new
+  // ones — at fixed shapes the capacity round-trips and no allocation
+  // happens.
+  clusterer_.Recycle(std::move(cached_clustering_));
+  cached_clustering_ = ReuseClustering{};
+  // Eval mode caches nothing: Backward requires a training Forward.
+  cached_batch_ = training ? batch : 0;
 
   if (!reuse_.enabled) {
     // Dense path: identical to Conv2d. The unfolded input is kept for the
-    // exact backward.
-    const int64_t m = config_.out_channels;
-    Tensor y_rows(Shape({n, m}));
-    Gemm(cols.data(), weight_.data(), y_rows.data(), n, k, m);
-    AddRowBias(bias_, &y_rows);
-    cached_cols_ = std::move(cols);
+    // exact backward only while training.
+    float* cols = arena_.AllocFloats(n * k);
+    {
+      ADR_TRACE_SPAN("im2col");
+      Timer im2col_timer;
+      Im2Col(geo, input.data(), cols);
+      MetricsRegistry::Global()
+          .histogram(metric_prefix_ + "im2col_seconds")
+          ->Record(im2col_timer.ElapsedSeconds());
+    }
+    float* y = arena_.AllocFloats(n * m);
+    Gemm(cols, weight_.data(), y, n, k, m);
+    AddRowBias(bias_.data(), y, n, m);
+    if (training) cached_cols_data_ = cols;
     ++stats_.forward_calls;
     stats_.macs_executed += static_cast<double>(n) * k * m;
     stats_.macs_baseline += static_cast<double>(n) * k * m;
     MetricsRegistry& metrics = MetricsRegistry::Global();
     metrics.counter(metric_prefix_ + "forward_calls")->Increment();
     metrics.gauge(metric_prefix_ + "enabled")->Set(0.0);
-    return RowsToNchw(y_rows, batch, m, geo.out_height(), geo.out_width());
+    PublishWorkspaceMetrics();
+    Tensor out(Shape({batch, m, geo.out_height(), geo.out_width()}));
+    RowsToNchw(y, batch, m, geo.out_height(), geo.out_width(), out.data());
+    return out;
   }
 
   const int64_t rows_per_group = reuse_.scope == ClusterScope::kSingleInput
                                      ? geo.rows_per_image()
                                      : n;
-  ForwardReuseResult forward =
-      reuse_.method == ClusteringMethod::kKMeans
-          ? KMeansMatmulForward(cols.data(), n, k,
-                                reuse_.EffectiveLength(k), weight_, &bias_,
-                                rows_per_group, reuse_.kmeans_clusters,
-                                reuse_.kmeans_iterations, reuse_.seed)
-          : ClusteredMatmulForward(families_, cols.data(), n, weight_,
-                                   &bias_, rows_per_group, cache_.get());
-  cached_clustering_ = std::move(forward.clustering);
-  if (exact_backward_) {
-    cached_cols_ = std::move(cols);
+  ReuseClustering clustering;
+  ForwardReuseStats fs;
+  float* y = arena_.AllocFloats(n * m);
+
+  if (reuse_.method == ClusteringMethod::kKMeans ||
+      (exact_backward_ && training)) {
+    // Materialized paths: k-means needs iterative passes over the rows,
+    // and the exact-backward ablation needs the unfolded input alive for
+    // Backward — both keep the N x K matrix (arena-owned).
+    float* cols = arena_.AllocFloats(n * k);
+    {
+      ADR_TRACE_SPAN("im2col");
+      Timer im2col_timer;
+      Im2Col(geo, input.data(), cols);
+      MetricsRegistry::Global()
+          .histogram(metric_prefix_ + "im2col_seconds")
+          ->Record(im2col_timer.ElapsedSeconds());
+    }
+    if (reuse_.method == ClusteringMethod::kKMeans) {
+      ForwardReuseResult forward = KMeansMatmulForward(
+          cols, n, k, reuse_.EffectiveLength(k), weight_, &bias_,
+          rows_per_group, reuse_.kmeans_clusters, reuse_.kmeans_iterations,
+          reuse_.seed);
+      clustering = std::move(forward.clustering);
+      fs = forward.stats;
+      std::copy_n(forward.y_rows.data(), n * m, y);
+    } else {
+      ClusteredMatmulForwardInto(families_, cols, n, weight_, &bias_,
+                                 rows_per_group, cache_.get(), &arena_, y,
+                                 &clustering, &fs);
+    }
+    if (training && exact_backward_) cached_cols_data_ = cols;
+  } else {
+    // Fused tiled path: im2col rows stream straight from the NCHW input
+    // into the hash pipeline; the N x K matrix never exists.
+    FusedClusteredForward(families_, geo, input.data(), weight_, &bias_,
+                          rows_per_group, cache_.get(), &arena_,
+                          &clusterer_, y, &clustering, &fs);
+  }
+
+  if (training) {
+    cached_clustering_ = std::move(clustering);
+  } else {
+    clusterer_.Recycle(std::move(clustering));
   }
 
   // Telemetry (running mean of r_c; cumulative times and MACs).
-  const ForwardReuseStats& fs = forward.stats;
   const double prev_count = static_cast<double>(stats_.forward_calls);
   stats_.avg_remaining_ratio =
       (stats_.avg_remaining_ratio * prev_count + fs.avg_remaining_ratio) /
@@ -135,9 +181,11 @@ Tensor ReuseConv2d::Forward(const Tensor& input, bool /*training*/) {
   stats_.macs_baseline += fs.macs_baseline;
   stats_.last_batch_reuse_rate = fs.batch_reuse_rate;
   PublishForwardMetrics(fs);
+  PublishWorkspaceMetrics();
 
-  return RowsToNchw(forward.y_rows, batch, config_.out_channels,
-                    geo.out_height(), geo.out_width());
+  Tensor out(Shape({batch, m, geo.out_height(), geo.out_width()}));
+  RowsToNchw(y, batch, m, geo.out_height(), geo.out_width(), out.data());
+  return out;
 }
 
 void ReuseConv2d::PublishForwardMetrics(const ForwardReuseStats& fs) {
@@ -176,27 +224,42 @@ void ReuseConv2d::PublishForwardMetrics(const ForwardReuseStats& fs) {
   metrics.gauge(metric_prefix_ + "forward_cost_measured")->Set(measured);
 }
 
+void ReuseConv2d::PublishWorkspaceMetrics() {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.gauge(metric_prefix_ + "workspace_bytes")
+      ->Set(static_cast<double>(arena_.reserved_bytes()));
+  // Hot-path slab allocations since the last publish; 0 at every publish
+  // once the arena plan is warm — the counter's total therefore converges
+  // after the first step at fixed shapes.
+  metrics.counter(metric_prefix_ + "allocations_per_step")
+      ->Increment(arena_.alloc_slabs() - published_alloc_slabs_);
+  published_alloc_slabs_ = arena_.alloc_slabs();
+}
+
 Tensor ReuseConv2d::Backward(const Tensor& grad_output) {
   ADR_TRACE_SPAN("ReuseConv2d::Backward");
-  ADR_CHECK_GT(cached_batch_, 0) << "Backward before Forward";
+  ADR_CHECK_GT(cached_batch_, 0)
+      << "Backward requires a preceding training-mode Forward";
   const ConvGeometry geo = Geometry(cached_batch_);
   const int64_t n = geo.unfolded_rows();
   const int64_t k = geo.unfolded_cols();
   const int64_t m = config_.out_channels;
 
-  const Tensor dy = NchwToRows(grad_output);
-  ADR_CHECK(dy.shape() == Shape({n, m}));
+  ADR_CHECK(grad_output.shape() == Shape({cached_batch_, m,
+                                          geo.out_height(),
+                                          geo.out_width()}));
+  float* dy = arena_.AllocFloats(n * m);
+  NchwToRows(grad_output, dy);
+  float* dx_cols = arena_.AllocFloats(n * k);
 
-  Tensor dx_cols;
   if (exact_backward_ || !reuse_.enabled) {
     // Ablation path: exact gradients from the cached unfolded input.
     Timer timer;
-    ADR_CHECK(cached_cols_.shape() == Shape({n, k}))
+    ADR_CHECK(cached_cols_data_ != nullptr)
         << "exact_backward requires the unfolded input cached in Forward";
-    GemmTransA(cached_cols_.data(), dy.data(), grad_weight_.data(), k, n, m);
-    grad_bias_ = ColumnSums(dy);
-    dx_cols = Tensor(Shape({n, k}));
-    GemmTransB(dy.data(), weight_.data(), dx_cols.data(), n, m, k);
+    GemmTransA(cached_cols_data_, dy, grad_weight_.data(), k, n, m);
+    ColumnSumsInto(dy, n, m, grad_bias_.data());
+    GemmTransB(dy, weight_.data(), dx_cols, n, m, k);
     const double seconds = timer.ElapsedSeconds();
     stats_.backward_seconds += seconds;
     stats_.macs_executed += 2.0 * static_cast<double>(n) * k * m;
@@ -205,22 +268,22 @@ Tensor ReuseConv2d::Backward(const Tensor& grad_output) {
         .histogram(metric_prefix_ + "backward_seconds")
         ->Record(seconds);
   } else {
-    BackwardReuseResult backward =
-        ReuseBackward(cached_clustering_, weight_, dy);
-    grad_weight_ = std::move(backward.grad_weight);
-    grad_bias_ = std::move(backward.grad_bias);
-    dx_cols = std::move(backward.grad_x);
-    stats_.backward_seconds += backward.stats.seconds;
-    stats_.macs_executed += backward.stats.macs;
-    stats_.macs_baseline += backward.stats.macs_baseline;
+    BackwardReuseStats bstats;
+    ReuseBackwardInto(cached_clustering_, weight_, dy, &arena_,
+                      grad_weight_.data(), grad_bias_.data(), dx_cols,
+                      &bstats);
+    stats_.backward_seconds += bstats.seconds;
+    stats_.macs_executed += bstats.macs;
+    stats_.macs_baseline += bstats.macs_baseline;
     MetricsRegistry::Global()
         .histogram(metric_prefix_ + "backward_seconds")
-        ->Record(backward.stats.seconds);
+        ->Record(bstats.seconds);
   }
 
   Tensor grad_input(Shape({cached_batch_, config_.in_channels,
                            config_.in_height, config_.in_width}));
-  Col2Im(geo, dx_cols, &grad_input);
+  Col2Im(geo, dx_cols, grad_input.data());
+  PublishWorkspaceMetrics();
   return grad_input;
 }
 

@@ -17,6 +17,7 @@
 #include "nn/layer.h"
 #include "nn/reuse_stats.h"  // ReuseLayerStats lives with the Layer API
 #include "tensor/im2col.h"
+#include "tensor/workspace_arena.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -75,6 +76,12 @@ class ReuseConv2d : public Layer {
   const ClusterReuseCache* cache() const { return cache_.get(); }
   void ClearCache();
 
+  /// \brief The layer's step-scoped scratch arena. After the first
+  /// training step at fixed (batch, config), reserved_bytes() and
+  /// alloc_slabs() stay constant — the zero-allocation steady state the
+  /// workspace_bytes / allocations_per_step metrics expose.
+  const WorkspaceArena& workspace() const { return arena_; }
+
  private:
   std::string name_;
   std::string metric_prefix_;  ///< "reuse/<name>/", see PublishMetrics
@@ -89,9 +96,19 @@ class ReuseConv2d : public Layer {
   std::unique_ptr<ClusterReuseCache> cache_;
   bool exact_backward_ = false;
 
-  // State cached between Forward and Backward.
+  /// Step-scoped scratch; Reset() at the top of every Forward.
+  WorkspaceArena arena_;
+  /// Persistent streaming clusterer of the fused path (its tables and the
+  /// clustering buffers recycled through it survive across steps).
+  StreamingSubVectorClusterer clusterer_;
+  /// alloc_slabs() value already published, for per-step deltas.
+  int64_t published_alloc_slabs_ = 0;
+
+  // State cached between Forward and Backward (training mode only).
   ReuseClustering cached_clustering_;
-  Tensor cached_cols_;  ///< only filled when exact_backward_ is set
+  /// Arena-owned [N, K] unfolded input, valid until the next Reset();
+  /// non-null only when the exact backward needs it.
+  float* cached_cols_data_ = nullptr;
   int64_t cached_batch_ = 0;
 
   ReuseLayerStats stats_;
@@ -102,6 +119,11 @@ class ReuseConv2d : public Layer {
   /// cluster count, phase wall-times, predicted-vs-measured Eq. 5/6
   /// forward cost) into MetricsRegistry::Global() under metric_prefix_.
   void PublishForwardMetrics(const ForwardReuseStats& stats);
+
+  /// Publishes workspace_bytes (arena capacity gauge) and
+  /// allocations_per_step (counter of hot-path slab allocations since the
+  /// last publish — zero every step once the arena plan is warm).
+  void PublishWorkspaceMetrics();
 };
 
 }  // namespace adr

@@ -1,7 +1,11 @@
 #include "core/subvector_clustering.h"
 
+#include <algorithm>
 #include <string>
+#include <utility>
 
+#include "clustering/tile_hash.h"
+#include "tensor/simd.h"
 #include "util/check.h"
 
 namespace adr {
@@ -59,6 +63,16 @@ ReuseClustering ClusterSubVectors(const BlockLshFamilies& families,
   result.num_cols = k;
   result.blocks.resize(static_cast<size_t>(families.num_blocks()));
 
+  // One hash scratch buffer sized for the widest block serves every
+  // (block, group) hash call; per-call heap churn here measurably slows
+  // the projection GEMMs that follow.
+  int64_t max_scratch = 0;
+  for (int64_t b = 0; b < families.num_blocks(); ++b) {
+    max_scratch = std::max(
+        max_scratch, families.family(b).ScratchFloats(rows_per_group, k));
+  }
+  std::vector<float> hash_scratch(static_cast<size_t>(max_scratch));
+
   std::vector<LshSignature> sigs;
   for (int64_t b = 0; b < families.num_blocks(); ++b) {
     SubMatrixClustering& block = result.blocks[static_cast<size_t>(b)];
@@ -70,8 +84,10 @@ ReuseClustering ClusterSubVectors(const BlockLshFamilies& families,
     merged.assignment.resize(static_cast<size_t>(num_rows));
     for (int64_t group_start = 0; group_start < num_rows;
          group_start += rows_per_group) {
-      family.HashRows(x + group_start * k + block.col_offset, rows_per_group,
-                      k, &sigs);
+      sigs.resize(static_cast<size_t>(rows_per_group));
+      family.HashRowsScratch(x + group_start * k + block.col_offset,
+                             rows_per_group, k, hash_scratch.data(),
+                             sigs.data());
       std::vector<LshSignature> group_cluster_sigs;
       const Clustering group =
           ClusterBySignature(sigs, &group_cluster_sigs);
@@ -95,6 +111,145 @@ ReuseClustering ClusterSubVectors(const BlockLshFamilies& families,
         static_cast<size_t>(merged.num_clusters()), false);
   }
   return result;
+}
+
+void StreamingSubVectorClusterer::Begin(const BlockLshFamilies* families,
+                                        int64_t num_rows,
+                                        int64_t rows_per_group) {
+  ADR_CHECK(families != nullptr);
+  ADR_CHECK_GT(num_rows, 0);
+  ADR_CHECK_GT(rows_per_group, 0);
+  ADR_CHECK_EQ(num_rows % rows_per_group, 0)
+      << "rows_per_group must divide num_rows";
+  families_ = families;
+  num_rows_ = num_rows;
+  rows_per_group_ = rows_per_group;
+  next_row_ = 0;
+  // Same sizing rule as ClusterBySignature's per-group table; the table is
+  // (re)filled with -1 at every group boundary inside ConsumeTile, so
+  // Begin only has to guarantee capacity.
+  size_t capacity = 16;
+  while (capacity < 2 * static_cast<size_t>(rows_per_group)) capacity <<= 1;
+  table_mask_ = capacity - 1;
+  blocks_.resize(static_cast<size_t>(families->num_blocks()));
+  for (BlockState& bs : blocks_) {
+    bs.slot_id.resize(capacity);
+    bs.slot_sig.resize(capacity);
+    bs.centroids.clear();
+    bs.sizes.clear();
+    bs.sigs.clear();
+    bs.assignment.resize(static_cast<size_t>(num_rows));
+  }
+}
+
+int64_t StreamingSubVectorClusterer::ScratchFloats(int64_t tile_rows) const {
+  ADR_CHECK(families_ != nullptr);
+  int64_t max_scratch = 0;
+  for (int64_t b = 0; b < families_->num_blocks(); ++b) {
+    const TileRowHasher hasher(&families_->family(b));
+    max_scratch = std::max(
+        max_scratch, hasher.ScratchFloats(tile_rows, families_->k()));
+  }
+  return max_scratch;
+}
+
+void StreamingSubVectorClusterer::ConsumeTile(const float* tile,
+                                              int64_t row_begin,
+                                              int64_t tile_rows,
+                                              float* scratch) {
+  ADR_CHECK_EQ(row_begin, next_row_) << "tiles must arrive in row order";
+  ADR_CHECK_GT(tile_rows, 0);
+  ADR_CHECK_LE(row_begin + tile_rows, num_rows_);
+  const int64_t k = families_->k();
+  const simd::Kernels& kernels = simd::Active();
+  const LshSignatureHash sig_hasher;
+
+  for (int64_t b = 0; b < families_->num_blocks(); ++b) {
+    BlockState& bs = blocks_[static_cast<size_t>(b)];
+    const int64_t offset = families_->block_offset(b);
+    const int64_t length = families_->block_length(b);
+    const TileRowHasher hasher(&families_->family(b));
+    bs.tile_sigs.resize(static_cast<size_t>(tile_rows));
+    hasher.HashTile(tile + offset, tile_rows, k, scratch,
+                    bs.tile_sigs.data());
+
+    // Serial per-row pass in ascending global row order: id assignment
+    // replays ClusterBySignature's first-seen order (with the per-group
+    // reset), and the centroid sums accumulate in ComputeCentroids' row
+    // order, so both are bit-identical to the materialized path.
+    for (int64_t i = 0; i < tile_rows; ++i) {
+      const int64_t row = row_begin + i;
+      if (row % rows_per_group_ == 0) {
+        std::fill(bs.slot_id.begin(), bs.slot_id.end(), -1);
+      }
+      const LshSignature& sig = bs.tile_sigs[static_cast<size_t>(i)];
+      size_t slot = sig_hasher(sig) & table_mask_;
+      while (bs.slot_id[slot] >= 0 && !(bs.slot_sig[slot] == sig)) {
+        slot = (slot + 1) & table_mask_;
+      }
+      int32_t id = bs.slot_id[slot];
+      if (id < 0) {
+        id = static_cast<int32_t>(bs.sizes.size());
+        bs.slot_id[slot] = id;
+        bs.slot_sig[slot] = sig;
+        bs.sizes.push_back(0);
+        bs.sigs.push_back(sig);
+        bs.centroids.resize(bs.centroids.size() +
+                                static_cast<size_t>(length),
+                            0.0f);
+      }
+      bs.assignment[static_cast<size_t>(row)] = id;
+      ++bs.sizes[static_cast<size_t>(id)];
+      kernels.add(tile + i * k + offset, bs.centroids.data() + id * length,
+                  length);
+    }
+  }
+  next_row_ += tile_rows;
+}
+
+ReuseClustering StreamingSubVectorClusterer::Finish() {
+  ADR_CHECK_EQ(next_row_, num_rows_) << "tiles did not cover all rows";
+  const simd::Kernels& kernels = simd::Active();
+  ReuseClustering result;
+  result.num_rows = num_rows_;
+  result.num_cols = families_->k();
+  result.blocks.resize(blocks_.size());
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    BlockState& bs = blocks_[b];
+    SubMatrixClustering& out = result.blocks[b];
+    out.col_offset = families_->block_offset(static_cast<int64_t>(b));
+    out.length = families_->block_length(static_cast<int64_t>(b));
+    const int64_t num_clusters = static_cast<int64_t>(bs.sizes.size());
+    float* c = bs.centroids.data();
+    for (int64_t cl = 0; cl < num_clusters; ++cl) {
+      const int64_t size = bs.sizes[static_cast<size_t>(cl)];
+      ADR_CHECK_GT(size, 0) << "empty cluster " << cl;
+      kernels.scale(1.0f / static_cast<float>(size), c + cl * out.length,
+                    out.length);
+    }
+    out.centroids =
+        Tensor(Shape({num_clusters, out.length}), std::move(bs.centroids));
+    bs.centroids = std::vector<float>();
+    out.clustering.cluster_sizes = std::move(bs.sizes);
+    out.clustering.assignment = std::move(bs.assignment);
+    out.signatures = std::move(bs.sigs);
+    out.reused_from_cache = std::move(bs.reused_pool);
+    out.reused_from_cache.assign(static_cast<size_t>(num_clusters), false);
+  }
+  return result;
+}
+
+void StreamingSubVectorClusterer::Recycle(ReuseClustering&& old) {
+  if (blocks_.size() < old.blocks.size()) blocks_.resize(old.blocks.size());
+  for (size_t b = 0; b < old.blocks.size(); ++b) {
+    BlockState& bs = blocks_[b];
+    SubMatrixClustering& ob = old.blocks[b];
+    bs.centroids = std::move(ob.centroids).TakeData();
+    bs.sizes = std::move(ob.clustering.cluster_sizes);
+    bs.sigs = std::move(ob.signatures);
+    bs.assignment = std::move(ob.clustering.assignment);
+    bs.reused_pool = std::move(ob.reused_from_cache);
+  }
 }
 
 }  // namespace adr

@@ -87,6 +87,73 @@ ReuseClustering ClusterSubVectors(const BlockLshFamilies& families,
                                   const float* x, int64_t num_rows,
                                   int64_t rows_per_group);
 
+/// \brief Incremental ClusterSubVectors over consecutive row tiles.
+///
+/// The fused forward feeds the unfolded matrix as L2-sized tiles
+/// (Im2ColRows output) and this clusterer reproduces ClusterSubVectors
+/// bit-for-bit without the N x K matrix ever existing:
+///   - signatures go through the same batched projection GEMM, whose
+///     per-row results are independent of how rows are tiled;
+///   - cluster ids are assigned in the same first-seen order with the
+///     same reset at every rows_per_group boundary (tiles need not align
+///     with group boundaries);
+///   - centroid sums accumulate in the same ascending row order with the
+///     same SIMD kernels, and are scaled once in ascending cluster order
+///     at Finish — exactly ComputeCentroids' operation order.
+///
+/// All buffers persist across Begin/Finish cycles; pair Finish with a
+/// later Recycle() of the returned ReuseClustering so steady-state
+/// training at fixed shapes performs zero heap allocations here.
+class StreamingSubVectorClusterer {
+ public:
+  /// \brief Starts a clustering of `num_rows` width-k rows; scope as in
+  /// ClusterSubVectors. `families` must outlive the cycle.
+  void Begin(const BlockLshFamilies* families, int64_t num_rows,
+             int64_t rows_per_group);
+
+  /// \brief Scratch floats ConsumeTile needs for a tile of `tile_rows`
+  /// rows (max over blocks). Valid after Begin.
+  int64_t ScratchFloats(int64_t tile_rows) const;
+
+  /// \brief Consumes rows [row_begin, row_begin + tile_rows); tiles must
+  /// arrive in order and cover [0, num_rows) exactly. `tile` is
+  /// tile_rows x k row-major; `scratch` holds ScratchFloats(tile_rows).
+  void ConsumeTile(const float* tile, int64_t row_begin, int64_t tile_rows,
+                   float* scratch);
+
+  /// \brief Finalizes centroids and returns the clustering; the clusterer
+  /// keeps its table capacity for the next Begin.
+  ReuseClustering Finish();
+
+  /// \brief Donates a no-longer-needed clustering (typically last step's)
+  /// so its buffer capacity is reused by the next cycle.
+  void Recycle(ReuseClustering&& old);
+
+ private:
+  struct BlockState {
+    // Open-addressing signature table, persistent across tiles within a
+    // group; slot ids are global (running) cluster ids.
+    std::vector<int32_t> slot_id;
+    std::vector<LshSignature> slot_sig;
+    // Growing per-cluster state, moved into the result at Finish.
+    std::vector<float> centroids;  // |C| x length running sums
+    std::vector<int64_t> sizes;
+    std::vector<LshSignature> sigs;
+    std::vector<int32_t> assignment;
+    // Recycled reused_from_cache capacity (see Recycle).
+    std::vector<bool> reused_pool;
+    // Per-tile signature buffer.
+    std::vector<LshSignature> tile_sigs;
+  };
+
+  const BlockLshFamilies* families_ = nullptr;
+  int64_t num_rows_ = 0;
+  int64_t rows_per_group_ = 0;
+  int64_t next_row_ = 0;
+  size_t table_mask_ = 0;
+  std::vector<BlockState> blocks_;
+};
+
 }  // namespace adr
 
 #endif  // ADR_CORE_SUBVECTOR_CLUSTERING_H_

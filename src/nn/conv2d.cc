@@ -1,10 +1,12 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace adr {
 
@@ -12,37 +14,46 @@ Tensor RowsToNchw(const Tensor& rows, int64_t batch, int64_t channels,
                   int64_t height, int64_t width) {
   ADR_CHECK(rows.shape() == Shape({batch * height * width, channels}));
   Tensor out(Shape({batch, channels, height, width}));
-  const float* src = rows.data();
-  float* dst = out.data();
+  RowsToNchw(rows.data(), batch, channels, height, width, out.data());
+  return out;
+}
+
+void RowsToNchw(const float* rows, int64_t batch, int64_t channels,
+                int64_t height, int64_t width, float* out) {
   const int64_t hw = height * width;
   for (int64_t n = 0; n < batch; ++n) {
     for (int64_t p = 0; p < hw; ++p) {
-      const float* row = src + (n * hw + p) * channels;
+      const float* row = rows + (n * hw + p) * channels;
       for (int64_t c = 0; c < channels; ++c) {
-        dst[(n * channels + c) * hw + p] = row[c];
+        out[(n * channels + c) * hw + p] = row[c];
       }
     }
   }
-  return out;
 }
 
 Tensor NchwToRows(const Tensor& nchw) {
   ADR_CHECK_EQ(nchw.shape().rank(), 4);
   const int64_t batch = nchw.shape()[0], channels = nchw.shape()[1];
   const int64_t height = nchw.shape()[2], width = nchw.shape()[3];
+  Tensor out(Shape({batch * height * width, channels}));
+  NchwToRows(nchw, out.data());
+  return out;
+}
+
+void NchwToRows(const Tensor& nchw, float* out) {
+  ADR_CHECK_EQ(nchw.shape().rank(), 4);
+  const int64_t batch = nchw.shape()[0], channels = nchw.shape()[1];
+  const int64_t height = nchw.shape()[2], width = nchw.shape()[3];
   const int64_t hw = height * width;
-  Tensor out(Shape({batch * hw, channels}));
   const float* src = nchw.data();
-  float* dst = out.data();
   for (int64_t n = 0; n < batch; ++n) {
     for (int64_t p = 0; p < hw; ++p) {
-      float* row = dst + (n * hw + p) * channels;
+      float* row = out + (n * hw + p) * channels;
       for (int64_t c = 0; c < channels; ++c) {
         row[c] = src[(n * channels + c) * hw + p];
       }
     }
   }
-  return out;
 }
 
 Conv2d::Conv2d(std::string name, const Conv2dConfig& config, Rng* rng)
@@ -73,43 +84,74 @@ ConvGeometry Conv2d::Geometry(int64_t batch) const {
   return geo;
 }
 
-Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
+Tensor Conv2d::Forward(const Tensor& input, bool training) {
   const int64_t batch = input.shape()[0];
   const ConvGeometry geo = Geometry(batch);
   const int64_t n = geo.unfolded_rows();
   const int64_t k = geo.unfolded_cols();
   const int64_t m = config_.out_channels;
 
-  cached_cols_ = Tensor(Shape({n, k}));
-  Im2Col(geo, input, &cached_cols_);
-  cached_batch_ = batch;
+  arena_.Reset();
+  float* y = arena_.AllocFloats(n * m);
 
-  Tensor y_rows(Shape({n, m}));
-  Gemm(cached_cols_.data(), weight_.data(), y_rows.data(), n, k, m);
-  AddRowBias(bias_, &y_rows);
-  return RowsToNchw(y_rows, batch, m, geo.out_height(), geo.out_width());
+  if (training) {
+    // Keep the full unfolded input for Backward. The tensor persists
+    // across steps, so at fixed shapes it is allocated once.
+    if (!(cached_cols_.shape() == Shape({n, k}))) {
+      cached_cols_ = Tensor(Shape({n, k}));
+    }
+    Im2Col(geo, input, &cached_cols_);
+    cached_batch_ = batch;
+    Gemm(cached_cols_.data(), weight_.data(), y, n, k, m);
+  } else {
+    // Inference needs no backward state: stream L2-sized row tiles
+    // through im2col + GEMM instead of materializing N x K. Rows are
+    // independent in both, so the output is bit-identical to the
+    // materialized path.
+    cached_cols_ = Tensor();
+    cached_batch_ = 0;
+    const int64_t tile_rows = L2TileRows(k);
+    float* tile = arena_.AllocFloats(tile_rows * k);
+    for (int64_t row = 0; row < n; row += tile_rows) {
+      const int64_t rows = std::min<int64_t>(tile_rows, n - row);
+      ParallelFor(rows, 32, [&](int64_t begin, int64_t end) {
+        Im2ColRows(geo, input.data(), row + begin, row + end,
+                   tile + begin * k);
+      });
+      Gemm(tile, weight_.data(), y + row * m, rows, k, m);
+    }
+  }
+
+  AddRowBias(bias_.data(), y, n, m);
+  Tensor out(Shape({batch, m, geo.out_height(), geo.out_width()}));
+  RowsToNchw(y, batch, m, geo.out_height(), geo.out_width(), out.data());
+  return out;
 }
 
 Tensor Conv2d::Backward(const Tensor& grad_output) {
-  ADR_CHECK_GT(cached_batch_, 0) << "Backward before Forward";
+  ADR_CHECK_GT(cached_batch_, 0)
+      << "Backward requires a preceding training-mode Forward";
   const ConvGeometry geo = Geometry(cached_batch_);
   const int64_t n = geo.unfolded_rows();
   const int64_t k = geo.unfolded_cols();
   const int64_t m = config_.out_channels;
 
-  const Tensor dy = NchwToRows(grad_output);  // [N, M]
-  ADR_CHECK(dy.shape() == Shape({n, m}));
+  ADR_CHECK(grad_output.shape() == Shape({cached_batch_, m,
+                                          geo.out_height(),
+                                          geo.out_width()}));
+  float* dy = arena_.AllocFloats(n * m);  // [N, M]
+  NchwToRows(grad_output, dy);
 
   // dW = x^T * dy  (Eq. 2); db = column sums of dy.
-  GemmTransA(cached_cols_.data(), dy.data(), grad_weight_.data(), k, n, m);
-  grad_bias_ = ColumnSums(dy);
+  GemmTransA(cached_cols_.data(), dy, grad_weight_.data(), k, n, m);
+  ColumnSumsInto(dy, n, m, grad_bias_.data());
 
   // dx_cols = dy * W^T  (Eq. 3), folded back through col2im.
-  Tensor dx_cols(Shape({n, k}));
-  GemmTransB(dy.data(), weight_.data(), dx_cols.data(), n, m, k);
+  float* dx_cols = arena_.AllocFloats(n * k);
+  GemmTransB(dy, weight_.data(), dx_cols, n, m, k);
   Tensor grad_input(Shape(
       {cached_batch_, config_.in_channels, config_.in_height, config_.in_width}));
-  Col2Im(geo, dx_cols, &grad_input);
+  Col2Im(geo, dx_cols, grad_input.data());
   return grad_input;
 }
 

@@ -11,6 +11,7 @@
 #include "nn/layer.h"
 #include "tensor/im2col.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace_arena.h"
 #include "util/rng.h"
 
 namespace adr {
@@ -31,8 +32,16 @@ struct Conv2dConfig {
 Tensor RowsToNchw(const Tensor& rows, int64_t batch, int64_t channels,
                   int64_t height, int64_t width);
 
+/// \brief Raw-buffer RowsToNchw; `out` holds batch*channels*height*width
+/// floats and is fully overwritten.
+void RowsToNchw(const float* rows, int64_t batch, int64_t channels,
+                int64_t height, int64_t width, float* out);
+
 /// \brief Inverse of RowsToNchw.
 Tensor NchwToRows(const Tensor& nchw);
+
+/// \brief NchwToRows into a caller-owned [N, M] buffer (fully overwritten).
+void NchwToRows(const Tensor& nchw, float* out);
 
 /// \brief Standard convolution layer.
 class Conv2d : public Layer {
@@ -57,6 +66,10 @@ class Conv2d : public Layer {
   const Tensor& weight() const { return weight_; }
   const Tensor& bias() const { return bias_; }
 
+  /// \brief Step-scoped scratch arena (see WorkspaceArena); constant
+  /// reserved_bytes()/alloc_slabs() after the first step at fixed shapes.
+  const WorkspaceArena& workspace() const { return arena_; }
+
  private:
   std::string name_;
   Conv2dConfig config_;
@@ -64,7 +77,11 @@ class Conv2d : public Layer {
   Tensor bias_;         ///< [M]
   Tensor grad_weight_;  ///< [K, M]
   Tensor grad_bias_;    ///< [M]
-  Tensor cached_cols_;  ///< unfolded input from the last Forward, [N, K]
+  /// Step-scoped scratch; Reset() at the top of every Forward.
+  WorkspaceArena arena_;
+  /// Unfolded input kept for Backward — persistent across steps and only
+  /// filled in training mode; eval streams L2-sized tiles instead.
+  Tensor cached_cols_;
   int64_t cached_batch_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "tensor/im2col.h"
 
+#include <algorithm>
 #include <string>
 
 #include "util/parallel.h"
@@ -31,61 +32,91 @@ Status ConvGeometry::Validate() const {
   return Status::OK();
 }
 
-void Im2Col(const ConvGeometry& geo, const Tensor& input, Tensor* out) {
+void Im2ColRows(const ConvGeometry& geo, const float* input,
+                int64_t row_begin, int64_t row_end, float* out) {
   const int64_t oh = geo.out_height();
   const int64_t ow = geo.out_width();
-  const int64_t k_cols = geo.unfolded_cols();
-  ADR_CHECK(input.shape() ==
-            Shape({geo.batch, geo.in_channels, geo.in_height, geo.in_width}))
-      << "Im2Col input shape " << input.shape().ToString();
-  ADR_CHECK(out->shape() == Shape({geo.unfolded_rows(), k_cols}))
-      << "Im2Col output shape " << out->shape().ToString();
-
-  const float* in = input.data();
-  float* out_data = out->data();
+  const int64_t rows_per_image = oh * ow;
   const int64_t ih = geo.in_height, iw = geo.in_width;
   const int64_t chan_stride = ih * iw;
-  const int64_t rows_per_image = geo.rows_per_image();
+  const int64_t img_stride = geo.in_channels * chan_stride;
 
-  // Per-image parallelism: image n fills exactly the row block
-  // [n * rows_per_image, (n+1) * rows_per_image) of the unfolded matrix,
-  // so chunks write disjoint ranges.
-  ParallelFor(geo.batch, 1, [&](int64_t n_begin, int64_t n_end) {
-    for (int64_t n = n_begin; n < n_end; ++n) {
-      const float* img = in + n * geo.in_channels * chan_stride;
-      float* dst = out_data + n * rows_per_image * k_cols;
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox) {
-          // One output row: all (c, ky, kx) taps of this receptive field.
-          for (int64_t c = 0; c < geo.in_channels; ++c) {
-            const float* chan = img + c * chan_stride;
-            for (int64_t ky = 0; ky < geo.kernel_h; ++ky) {
-              const int64_t y = oy * geo.stride + ky - geo.pad;
-              for (int64_t kx = 0; kx < geo.kernel_w; ++kx) {
-                const int64_t x = ox * geo.stride + kx - geo.pad;
-                const bool inside = y >= 0 && y < ih && x >= 0 && x < iw;
-                *dst++ = inside ? chan[y * iw + x] : 0.0f;
-              }
-            }
-          }
+  // Decode (n, oy, ox) of the first row once, then step incrementally.
+  int64_t n = row_begin / rows_per_image;
+  const int64_t rem = row_begin % rows_per_image;
+  int64_t oy = rem / ow;
+  int64_t ox = rem % ow;
+  float* dst = out;
+  for (int64_t row = row_begin; row < row_end; ++row) {
+    const float* img = input + n * img_stride;
+    // One output row: all (c, ky, kx) taps of this receptive field.
+    for (int64_t c = 0; c < geo.in_channels; ++c) {
+      const float* chan = img + c * chan_stride;
+      for (int64_t ky = 0; ky < geo.kernel_h; ++ky) {
+        const int64_t y = oy * geo.stride + ky - geo.pad;
+        for (int64_t kx = 0; kx < geo.kernel_w; ++kx) {
+          const int64_t x = ox * geo.stride + kx - geo.pad;
+          const bool inside = y >= 0 && y < ih && x >= 0 && x < iw;
+          *dst++ = inside ? chan[y * iw + x] : 0.0f;
         }
       }
     }
+    if (++ox == ow) {
+      ox = 0;
+      if (++oy == oh) {
+        oy = 0;
+        ++n;
+      }
+    }
+  }
+}
+
+void Im2Col(const ConvGeometry& geo, const Tensor& input, Tensor* out) {
+  ADR_CHECK(input.shape() ==
+            Shape({geo.batch, geo.in_channels, geo.in_height, geo.in_width}))
+      << "Im2Col input shape " << input.shape().ToString();
+  ADR_CHECK(out->shape() == Shape({geo.unfolded_rows(), geo.unfolded_cols()}))
+      << "Im2Col output shape " << out->shape().ToString();
+  Im2Col(geo, input.data(), out->data());
+}
+
+void Im2Col(const ConvGeometry& geo, const float* input, float* out) {
+  const int64_t k_cols = geo.unfolded_cols();
+  const int64_t rows_per_image = geo.rows_per_image();
+  // Per-image parallelism: image n fills exactly the row block
+  // [n * rows_per_image, (n+1) * rows_per_image) of the unfolded matrix,
+  // so chunks write disjoint ranges. Each row is a pure function of the
+  // input, so this matches any row tiling of Im2ColRows bit-for-bit.
+  ParallelFor(geo.batch, 1, [&](int64_t n_begin, int64_t n_end) {
+    Im2ColRows(geo, input, n_begin * rows_per_image, n_end * rows_per_image,
+               out + n_begin * rows_per_image * k_cols);
   });
+}
+
+int64_t L2TileRows(int64_t row_width) {
+  const int64_t budget_floats = (192 * 1024) / static_cast<int64_t>(sizeof(float));
+  const int64_t rows = budget_floats / (row_width < 1 ? 1 : row_width);
+  return std::min<int64_t>(4096, std::max<int64_t>(64, rows));
 }
 
 void Col2Im(const ConvGeometry& geo, const Tensor& grad_cols,
             Tensor* grad_input) {
-  const int64_t oh = geo.out_height();
-  const int64_t ow = geo.out_width();
   ADR_CHECK(grad_cols.shape() ==
             Shape({geo.unfolded_rows(), geo.unfolded_cols()}));
   ADR_CHECK(grad_input->shape() ==
             Shape({geo.batch, geo.in_channels, geo.in_height, geo.in_width}));
+  Col2Im(geo, grad_cols.data(), grad_input->data());
+}
 
-  grad_input->SetZero();
-  const float* src_data = grad_cols.data();
-  float* out = grad_input->data();
+void Col2Im(const ConvGeometry& geo, const float* grad_cols,
+            float* grad_input) {
+  const int64_t oh = geo.out_height();
+  const int64_t ow = geo.out_width();
+  const int64_t total =
+      geo.batch * geo.in_channels * geo.in_height * geo.in_width;
+  for (int64_t i = 0; i < total; ++i) grad_input[i] = 0.0f;
+  const float* src_data = grad_cols;
+  float* out = grad_input;
   const int64_t ih = geo.in_height, iw = geo.in_width;
   const int64_t chan_stride = ih * iw;
   const int64_t cols_per_image = geo.rows_per_image() * geo.unfolded_cols();

@@ -51,10 +51,34 @@ struct ConvGeometry {
 /// [N, K]); `out` must be pre-shaped.
 void Im2Col(const ConvGeometry& geo, const Tensor& input, Tensor* out);
 
+/// \brief Generates rows [row_begin, row_end) of the unfolded matrix
+/// directly from the raw NCHW `input`, writing them contiguously into
+/// `out` ((row_end - row_begin) x K, row-major). Each row is a pure
+/// function of the input, so any tiling of [0, N) reproduces Im2Col's
+/// output bit-for-bit. This is the fused pipeline's tile producer: tiles
+/// sized to L2 never materialize the full N x K matrix.
+void Im2ColRows(const ConvGeometry& geo, const float* input,
+                int64_t row_begin, int64_t row_end, float* out);
+
 /// \brief Folds gradient `grad_cols` ([N, K]) back into `grad_input`
 /// ([Nb, Ic, Ih, Iw]), accumulating overlapping patches.
 void Col2Im(const ConvGeometry& geo, const Tensor& grad_cols,
             Tensor* grad_input);
+
+/// \brief Raw-pointer Im2Col for arena-backed buffers; same per-image
+/// parallel fill as the Tensor overload.
+void Im2Col(const ConvGeometry& geo, const float* input, float* out);
+
+/// \brief Raw-pointer Col2Im for arena-backed buffers; `grad_input`
+/// (Nb*Ic*Ih*Iw floats) is zeroed first, then accumulated into.
+void Col2Im(const ConvGeometry& geo, const float* grad_cols,
+            float* grad_input);
+
+/// \brief Rows per tile for the L2-resident tiled pipelines: a tile of
+/// `row_width` floats per row should occupy roughly 192 KiB (leaving the
+/// rest of a typical 256 KiB+ L2 for hash scratch and the weight panel),
+/// clamped to [64, 4096] rows.
+int64_t L2TileRows(int64_t row_width);
 
 }  // namespace adr
 

@@ -81,6 +81,16 @@ class Tensor {
 
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
+  /// \brief Steals the backing storage (rvalue only); the tensor is left
+  /// empty. Pairs with the (Shape, vector) constructor so hot paths can
+  /// recycle capacity across steps instead of reallocating.
+  std::vector<float> TakeData() && {
+    std::vector<float> out = std::move(data_);
+    shape_ = Shape({});
+    data_.assign(1, 0.0f);
+    return out;
+  }
+
   std::string DebugString(int64_t max_elements = 16) const;
 
  private:

@@ -45,11 +45,13 @@ void Axpy(float scale, const Tensor& in, Tensor* out) {
 void AddRowBias(const Tensor& bias, Tensor* out) {
   ADR_CHECK_EQ(out->shape().rank(), 2);
   ADR_CHECK_EQ(bias.num_elements(), out->shape()[1]);
-  const int64_t m = out->shape()[0], n = out->shape()[1];
-  const float* b = bias.data();
-  float* dst = out->data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) dst[i * n + j] += b[j];
+  AddRowBias(bias.data(), out->data(), out->shape()[0], out->shape()[1]);
+}
+
+void AddRowBias(const float* bias, float* out, int64_t m_rows,
+                int64_t n_cols) {
+  for (int64_t i = 0; i < m_rows; ++i) {
+    for (int64_t j = 0; j < n_cols; ++j) out[i * n_cols + j] += bias[j];
   }
 }
 
@@ -64,12 +66,15 @@ Tensor ColumnSums(const Tensor& matrix) {
   ADR_CHECK_EQ(matrix.shape().rank(), 2);
   const int64_t m = matrix.shape()[0], n = matrix.shape()[1];
   Tensor out(Shape({n}));
-  const float* src = matrix.data();
-  float* dst = out.data();
+  ColumnSumsInto(matrix.data(), m, n, out.data());
+  return out;
+}
+
+void ColumnSumsInto(const float* src, int64_t m, int64_t n, float* dst) {
+  for (int64_t j = 0; j < n; ++j) dst[j] = 0.0f;
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) dst[j] += src[i * n + j];
   }
-  return out;
 }
 
 double Mean(const Tensor& t) {

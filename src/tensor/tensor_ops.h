@@ -27,11 +27,21 @@ void Axpy(float scale, const Tensor& in, Tensor* out);
 /// \brief Adds `bias` (length n) to every row of the MxN matrix `out`.
 void AddRowBias(const Tensor& bias, Tensor* out);
 
+/// \brief Raw-pointer AddRowBias for arena-backed buffers; same serial
+/// loop, so results are bit-identical.
+void AddRowBias(const float* bias, float* out, int64_t m_rows,
+                int64_t n_cols);
+
 /// \brief Sum over all elements.
 double Sum(const Tensor& t);
 
 /// \brief Column-wise sum of an MxN matrix into a length-N tensor.
 Tensor ColumnSums(const Tensor& matrix);
+
+/// \brief Raw-pointer ColumnSums into a caller-owned (e.g. arena) buffer;
+/// `dst` (length n) is overwritten. Same serial accumulation order as
+/// ColumnSums, so results are bit-identical.
+void ColumnSumsInto(const float* src, int64_t m, int64_t n, float* dst);
 
 /// \brief Mean of all elements.
 double Mean(const Tensor& t);

@@ -1,0 +1,81 @@
+#include "tensor/workspace_arena.h"
+
+#include <new>
+
+#include "util/check.h"
+
+namespace adr {
+
+namespace {
+
+constexpr int64_t kAlignment = 64;
+
+int64_t AlignUp(int64_t bytes) {
+  return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+}  // namespace
+
+WorkspaceArena::Slab WorkspaceArena::NewSlab(int64_t bytes) {
+  Slab slab;
+  slab.size = bytes;
+  slab.data = static_cast<char*>(::operator new(
+      static_cast<size_t>(bytes), std::align_val_t(kAlignment)));
+  return slab;
+}
+
+void WorkspaceArena::FreeSlab(Slab* slab) {
+  if (slab->data != nullptr) {
+    ::operator delete(slab->data, std::align_val_t(kAlignment));
+  }
+  slab->data = nullptr;
+  slab->size = 0;
+}
+
+WorkspaceArena::~WorkspaceArena() { Release(); }
+
+void* WorkspaceArena::AllocBytes(int64_t bytes) {
+  ADR_CHECK_GE(bytes, 0);
+  const int64_t aligned = AlignUp(bytes == 0 ? 1 : bytes);
+  epoch_used_ += aligned;
+  if (epoch_used_ > high_water_) high_water_ = epoch_used_;
+  if (primary_offset_ + aligned <= primary_.size) {
+    void* out = primary_.data + primary_offset_;
+    primary_offset_ += aligned;
+    return out;
+  }
+  // Spill: a dedicated slab keeps every previously handed-out pointer
+  // valid; the next Reset() consolidates the capacity plan.
+  ++alloc_slabs_;
+  overflow_.push_back(NewSlab(aligned));
+  return overflow_.back().data;
+}
+
+void WorkspaceArena::Reset() {
+  if (!overflow_.empty() || high_water_ > primary_.size) {
+    for (Slab& slab : overflow_) FreeSlab(&slab);
+    overflow_.clear();
+    FreeSlab(&primary_);
+    primary_ = NewSlab(AlignUp(high_water_));
+    ++consolidations_;
+  }
+  primary_offset_ = 0;
+  epoch_used_ = 0;
+}
+
+void WorkspaceArena::Release() {
+  for (Slab& slab : overflow_) FreeSlab(&slab);
+  overflow_.clear();
+  FreeSlab(&primary_);
+  primary_offset_ = 0;
+  epoch_used_ = 0;
+  high_water_ = 0;
+}
+
+int64_t WorkspaceArena::reserved_bytes() const {
+  int64_t total = primary_.size;
+  for (const Slab& slab : overflow_) total += slab.size;
+  return total;
+}
+
+}  // namespace adr

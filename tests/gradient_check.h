@@ -27,12 +27,15 @@ inline double Dot(const Tensor& a, const Tensor& b) {
 }
 
 /// Checks the input gradient and all parameter gradients of `layer` at
-/// `input` against central finite differences.
+/// `input` against central finite differences. Layers that cache forward
+/// state for Backward only in training mode (the conv layers) must be
+/// checked with `training` = true; stateless layers keep the default so
+/// the check also covers their inference path.
 inline void CheckGradients(Layer* layer, const Tensor& input,
                            double tolerance = 5e-2, float epsilon = 1e-3f,
-                           uint64_t seed = 7) {
+                           uint64_t seed = 7, bool training = false) {
   Rng rng(seed);
-  Tensor base_out = layer->Forward(input, /*training=*/false);
+  Tensor base_out = layer->Forward(input, training);
   Tensor projection =
       Tensor::RandomGaussian(base_out.shape(), &rng, 0.0f, 1.0f);
   Tensor grad_input = layer->Backward(projection);
@@ -56,7 +59,7 @@ inline void CheckGradients(Layer* layer, const Tensor& input,
   }
 
   // Parameter gradients (recompute analytic grads at the original input).
-  layer->Forward(input, false);
+  layer->Forward(input, training);
   layer->Backward(projection);
   const std::vector<Tensor*> params = layer->Parameters();
   const std::vector<Tensor*> grads = layer->Gradients();

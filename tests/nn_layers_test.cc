@@ -89,7 +89,8 @@ TEST(Conv2dTest, GradientCheck) {
   config.in_width = 5;
   Conv2d conv("conv", config, &rng);
   Tensor in = Tensor::RandomGaussian(Shape({2, 2, 5, 5}), &rng);
-  testutil::CheckGradients(&conv, in);
+  testutil::CheckGradients(&conv, in, /*tolerance=*/5e-2, /*epsilon=*/1e-3f,
+                           /*seed=*/7, /*training=*/true);
 }
 
 TEST(Conv2dTest, StridedGradientCheck) {
@@ -104,7 +105,8 @@ TEST(Conv2dTest, StridedGradientCheck) {
   config.in_width = 7;
   Conv2d conv("conv", config, &rng);
   Tensor in = Tensor::RandomGaussian(Shape({1, 1, 7, 7}), &rng);
-  testutil::CheckGradients(&conv, in);
+  testutil::CheckGradients(&conv, in, /*tolerance=*/5e-2, /*epsilon=*/1e-3f,
+                           /*seed=*/7, /*training=*/true);
 }
 
 TEST(Conv2dTest, ForwardMacs) {
