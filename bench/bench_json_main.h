@@ -36,6 +36,12 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       if (items != run.counters.end()) {
         record.items_per_second = items->second.value;
       }
+      // Remaining user counters (peak_workspace_bytes, alloc_events, ...)
+      // ride along in the record's counters object.
+      for (const auto& [key, counter] : run.counters) {
+        if (key == "items_per_second") continue;
+        record.counters.emplace_back(key, counter.value);
+      }
       emitter_->Add(std::move(record));
     }
     benchmark::ConsoleReporter::ReportRuns(reports);

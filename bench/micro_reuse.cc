@@ -9,9 +9,12 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <utility>
+#include <vector>
 
 #include "bench_json_main.h"
 #include "clustering/exact_dedup.h"
+#include "core/cluster_cache_reference.h"
 #include "core/clustered_matmul.h"
 #include "core/reuse_backward.h"
 #include "tensor/gemm.h"
@@ -158,6 +161,130 @@ void BM_ClusterReuseCacheWarm(benchmark::State& state) {
                           Workload::kM);
 }
 BENCHMARK(BM_ClusterReuseCacheWarm)->Apply(ThreadsOnlyArgs);
+
+// The same steady-state forward with CR off: the cost of clustering +
+// full centroid GEMM every batch. The gap to BM_ClusterReuseCacheWarm is
+// what the warm cache saves.
+void BM_ClusteredForwardCROff(benchmark::State& state) {
+  SetupThreads(state);
+  Workload& wl = SharedWorkload();
+  auto families = BlockLshFamilies::Create(Workload::kK, 100, 10, 5);
+  if (!families.ok()) {
+    state.SkipWithError(families.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    ForwardReuseResult result = ClusteredMatmulForward(
+        *families, wl.x.data(), Workload::kN, wl.w, nullptr, Workload::kN,
+        nullptr);
+    benchmark::DoNotOptimize(result.y_rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * Workload::kN * Workload::kK *
+                          Workload::kM);
+}
+BENCHMARK(BM_ClusteredForwardCROff)->Apply(ThreadsOnlyArgs);
+
+// --- cluster-cache microbenches ------------------------------------------
+// One block, kCacheResident resident entries (well past 10k so open
+// addressing is measured at realistic occupancy), kCacheQueries all-hit
+// lookups per iteration; items/sec = lookups/sec.
+
+constexpr int64_t kCacheResident = 16384;
+constexpr int64_t kCacheQueries = 4096;
+constexpr int64_t kCacheRepLen = 25;
+constexpr int64_t kCacheOutLen = 64;
+
+LshSignature CacheBenchSignature(int64_t i) {
+  LshSignature sig;
+  sig.words[0] = static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL + 1;
+  sig.words[1] = static_cast<uint64_t>(i);
+  return sig;
+}
+
+std::vector<LshSignature>& CacheBenchQueries() {
+  static auto* queries = [] {
+    auto* q = new std::vector<LshSignature>(
+        static_cast<size_t>(kCacheQueries));
+    Rng rng(23);
+    for (auto& sig : *q) {
+      sig = CacheBenchSignature(
+          static_cast<int64_t>(rng.NextBounded(kCacheResident)));
+    }
+    return q;
+  }();
+  return *queries;
+}
+
+// Batched lookup against the slab-backed cache. Compare against
+// BM_ReferenceCacheLookup below — the acceptance bar for the open
+// addressing + batched API is >= 3x lower time per lookup at >= 10k
+// resident entries.
+void BM_ClusterCacheLookup(benchmark::State& state) {
+  SetupThreads(state);
+  ClusterReuseCache cache;
+  std::vector<float> rep(kCacheRepLen, 1.0f);
+  std::vector<float> out(kCacheOutLen, 2.0f);
+  for (int64_t i = 0; i < kCacheResident; ++i) {
+    cache.Insert(0, CacheBenchSignature(i), rep.data(), kCacheRepLen,
+                 out.data(), kCacheOutLen);
+  }
+  const std::vector<LshSignature>& queries = CacheBenchQueries();
+  std::vector<int32_t> entries(static_cast<size_t>(kCacheQueries));
+  for (auto _ : state) {
+    const int64_t hits = cache.FindBatch(0, queries.data(), kCacheQueries,
+                                         entries.data());
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * kCacheQueries);
+}
+BENCHMARK(BM_ClusterCacheLookup)->Apply(ThreadsOnlyArgs);
+
+// The original map-based cache on the identical workload: one
+// unordered_map probe (hash + node chase) per sequential Find call.
+void BM_ReferenceCacheLookup(benchmark::State& state) {
+  SetupThreads(state);
+  ReferenceClusterCache cache;
+  for (int64_t i = 0; i < kCacheResident; ++i) {
+    ReferenceClusterCache::Entry entry;
+    entry.representative.assign(static_cast<size_t>(kCacheRepLen), 1.0f);
+    entry.output.assign(static_cast<size_t>(kCacheOutLen), 2.0f);
+    cache.Insert(0, CacheBenchSignature(i), std::move(entry));
+  }
+  const std::vector<LshSignature>& queries = CacheBenchQueries();
+  for (auto _ : state) {
+    int64_t hits = 0;
+    for (const LshSignature& sig : queries) {
+      if (cache.Find(0, sig) != nullptr) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * kCacheQueries);
+}
+BENCHMARK(BM_ReferenceCacheLookup)->Apply(ThreadsOnlyArgs);
+
+// Steady-state insert under an entry budget: every insert of a fresh
+// signature recycles a second-chance-evicted slot (zero allocations —
+// the free list and tables reached capacity during the warm-up).
+void BM_ClusterCacheInsert(benchmark::State& state) {
+  SetupThreads(state);
+  ClusterReuseCache cache;
+  cache.set_max_entries(kCacheResident);
+  std::vector<float> rep(kCacheRepLen, 1.0f);
+  std::vector<float> out(kCacheOutLen, 2.0f);
+  int64_t next = 0;
+  for (; next < kCacheResident + 1024; ++next) {
+    cache.Insert(0, CacheBenchSignature(next), rep.data(), kCacheRepLen,
+                 out.data(), kCacheOutLen);
+  }
+  for (auto _ : state) {
+    cache.Insert(0, CacheBenchSignature(next++), rep.data(), kCacheRepLen,
+                 out.data(), kCacheOutLen);
+  }
+  state.counters["alloc_events"] =
+      static_cast<double>(cache.alloc_events());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClusterCacheInsert)->Apply(ThreadsOnlyArgs);
 
 // Conv-shaped workload for the fused-vs-materialized comparison: a
 // spatially periodic image (period 4) whose interior im2col rows repeat,

@@ -11,6 +11,7 @@
 
 #include "bench/bench_util.h"
 #include "core/reuse_conv2d.h"
+#include "util/bench_json.h"
 #include "util/csv_writer.h"
 
 namespace adr::bench {
@@ -73,6 +74,11 @@ void Main() {
       {1, "conv2", 10, 10},
   };
 
+  // Alongside the CSVs, the same results go into a schema-versioned
+  // BENCH_table3_cluster_reuse.json (util/bench_json.h) so the table
+  // benches share the micro benches' machine-readable trajectory format.
+  BenchJsonEmitter emitter("table3_cluster_reuse");
+
   PrintRow({"layer", "L", "H", "acc CR=0", "acc CR=1", "cum. R"});
   for (const LayerSetting& setting : settings) {
     const double acc0 = EvaluateWithConfig(context, setting, false, 8,
@@ -86,6 +92,15 @@ void Main() {
     csv.WriteRow(std::vector<std::string>{
         setting.name, std::to_string(setting.l), std::to_string(setting.h),
         Fmt(acc0, 6), Fmt(acc1, 6), Fmt(reuse_rate, 6)});
+    BenchRecord record;
+    record.name = "table3/" + setting.name + "/L:" +
+                  std::to_string(setting.l) + "/H:" +
+                  std::to_string(setting.h);
+    record.iterations = 1;
+    record.counters.emplace_back("accuracy_cr0", acc0);
+    record.counters.emplace_back("accuracy_cr1", acc1);
+    record.counters.emplace_back("reuse_rate", reuse_rate);
+    emitter.Add(std::move(record));
   }
   csv.Close();
 
@@ -106,15 +121,25 @@ void Main() {
   DataLoader loader(&context.dataset, 8, /*shuffle=*/true, 555);
   Batch batch;
   PrintRow({"batch", "R"});
+  BenchRecord growth;
+  growth.name = "table3/conv1/reuse_rate_growth";
+  growth.iterations = 20;
   for (int b = 1; b <= 20; ++b) {
     loader.Next(&batch);
     twin.network.Forward(batch.images, /*training=*/false);
     const double r = layer->stats().last_batch_reuse_rate;
     PrintRow({std::to_string(b), Fmt(r, 3)});
     rate_csv.WriteRow(std::vector<double>{static_cast<double>(b), r});
+    growth.counters.emplace_back("r_batch_" + std::to_string(b), r);
   }
   rate_csv.Close();
-  std::printf("\nCSVs written to %s\n", ResultsDir().c_str());
+  emitter.Add(std::move(growth));
+  const std::string json_path =
+      BenchJsonEmitter::DefaultPath("table3_cluster_reuse");
+  const Status json_status = emitter.WriteFile(json_path);
+  ADR_CHECK(json_status.ok()) << json_status.ToString();
+  std::printf("\nCSVs written to %s; JSON written to %s\n",
+              ResultsDir().c_str(), json_path.c_str());
 }
 
 }  // namespace

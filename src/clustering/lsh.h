@@ -34,14 +34,22 @@ struct LshSignature {
   void SetBit(int i) { words[i >> 6] |= uint64_t{1} << (i & 63); }
 };
 
+/// \brief Well-mixed 64-bit key of a packed signature — the shared hash
+/// of the unordered-map functor below and the cluster-reuse cache's
+/// open-addressing tables (whose slot index is the key masked to a
+/// power-of-two capacity, so every bit must carry entropy).
+inline uint64_t SignatureKey(const LshSignature& s) {
+  // splitmix-style mix of the two words.
+  uint64_t h = s.words[0] * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  h += s.words[1] * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return h;
+}
+
 struct LshSignatureHash {
   size_t operator()(const LshSignature& s) const {
-    // splitmix-style mix of the two words.
-    uint64_t h = s.words[0] * 0x9e3779b97f4a7c15ULL;
-    h ^= h >> 29;
-    h += s.words[1] * 0xbf58476d1ce4e5b9ULL;
-    h ^= h >> 32;
-    return static_cast<size_t>(h);
+    return static_cast<size_t>(SignatureKey(s));
   }
 };
 

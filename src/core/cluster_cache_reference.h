@@ -1,0 +1,132 @@
+// The original map-based cluster-reuse cache, preserved verbatim (modulo
+// the rename) as the behavioral reference for the slab-backed
+// ClusterReuseCache in core/cluster_cache.h:
+//
+//   - tests/cluster_cache_test.cc runs both caches over the same batch
+//     stream and requires identical hit/miss decisions, counters, R, and
+//     forward outputs at unbounded capacity;
+//   - bench/micro_reuse.cc's BM_ReferenceCacheLookup is the baseline the
+//     ≥3x lookup-speedup acceptance bar is measured against.
+//
+// Not used on any production path — the naive containers (one
+// unordered_map node plus two heap vectors per entry, full-walk
+// TotalEntries/ApproximateMemoryBytes) are exactly what the slab design
+// replaces. Header-only so only test/bench targets pay for it.
+
+#ifndef ADR_CORE_CLUSTER_CACHE_REFERENCE_H_
+#define ADR_CORE_CLUSTER_CACHE_REFERENCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "clustering/lsh.h"
+#include "util/check.h"
+
+namespace adr {
+
+class ReferenceClusterCache {
+ public:
+  struct Entry {
+    std::vector<float> representative;  ///< length L_I
+    std::vector<float> output;          ///< length M
+  };
+
+  /// \brief Looks up a signature in block `block`; nullptr on miss.
+  const Entry* Find(int64_t block, const LshSignature& signature) const {
+    ++lookups_;
+    const BlockMap& map = BlockFor(block);
+    const auto it = map.find(signature);
+    if (it == map.end()) return nullptr;
+    ++hits_;
+    return &it->second;
+  }
+
+  /// \brief Inserts (overwrites) an entry.
+  void Insert(int64_t block, const LshSignature& signature, Entry entry) {
+    BlockMap& map = BlockFor(block);
+    const bool is_new = map.find(signature) == map.end();
+    map[signature] = std::move(entry);
+    if (is_new) {
+      insertion_order_.emplace_back(block, signature);
+      EvictIfNeeded();
+    }
+  }
+
+  void Clear() {
+    blocks_.clear();
+    insertion_order_.clear();
+    lookups_ = 0;
+    hits_ = 0;
+    evictions_ = 0;
+  }
+
+  int64_t TotalEntries() const {
+    int64_t total = 0;
+    for (const auto& map : blocks_) {
+      total += static_cast<int64_t>(map.size());
+    }
+    return total;
+  }
+
+  /// \brief FIFO bound on the entry count; 0 = unbounded.
+  void set_max_entries(int64_t max_entries) { max_entries_ = max_entries; }
+  int64_t max_entries() const { return max_entries_; }
+  int64_t evictions() const { return evictions_; }
+
+  int64_t ApproximateMemoryBytes() const {
+    int64_t bytes = 0;
+    for (const BlockMap& map : blocks_) {
+      for (const auto& [signature, entry] : map) {
+        bytes += static_cast<int64_t>(sizeof(signature)) +
+                 static_cast<int64_t>((entry.representative.size() +
+                                       entry.output.size()) *
+                                      sizeof(float));
+      }
+    }
+    return bytes;
+  }
+
+  int64_t lookups() const { return lookups_; }
+  int64_t hits() const { return hits_; }
+  double ReuseRate() const {
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(hits_) /
+                               static_cast<double>(lookups_);
+  }
+
+ private:
+  using BlockMap =
+      std::unordered_map<LshSignature, Entry, LshSignatureHash>;
+
+  BlockMap& BlockFor(int64_t block) const {
+    ADR_CHECK_GE(block, 0);
+    if (static_cast<size_t>(block) >= blocks_.size()) {
+      blocks_.resize(static_cast<size_t>(block) + 1);
+    }
+    return blocks_[static_cast<size_t>(block)];
+  }
+
+  void EvictIfNeeded() {
+    if (max_entries_ <= 0) return;
+    while (TotalEntries() > max_entries_ && !insertion_order_.empty()) {
+      const auto [block, signature] = insertion_order_.front();
+      insertion_order_.pop_front();
+      if (BlockFor(block).erase(signature) > 0) ++evictions_;
+    }
+  }
+
+  mutable std::vector<BlockMap> blocks_;
+  mutable int64_t lookups_ = 0;
+  mutable int64_t hits_ = 0;
+  int64_t max_entries_ = 0;
+  int64_t evictions_ = 0;
+  /// Insertion order across all blocks, for FIFO eviction.
+  std::deque<std::pair<int64_t, LshSignature>> insertion_order_;
+};
+
+}  // namespace adr
+
+#endif  // ADR_CORE_CLUSTER_CACHE_REFERENCE_H_

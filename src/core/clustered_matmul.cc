@@ -33,73 +33,6 @@ void ScatterClusterOutputs(const float* yc, const Clustering& clustering,
 
 }  // namespace
 
-ClusterReuseCache::BlockMap& ClusterReuseCache::BlockFor(int64_t block) const {
-  ADR_CHECK_GE(block, 0);
-  if (static_cast<size_t>(block) >= blocks_.size()) {
-    blocks_.resize(static_cast<size_t>(block) + 1);
-  }
-  return blocks_[static_cast<size_t>(block)];
-}
-
-const ClusterReuseCache::Entry* ClusterReuseCache::Find(
-    int64_t block, const LshSignature& signature) const {
-  ++lookups_;
-  const BlockMap& map = BlockFor(block);
-  const auto it = map.find(signature);
-  if (it == map.end()) return nullptr;
-  ++hits_;
-  return &it->second;
-}
-
-void ClusterReuseCache::Insert(int64_t block, const LshSignature& signature,
-                               Entry entry) {
-  BlockMap& map = BlockFor(block);
-  const bool is_new = map.find(signature) == map.end();
-  map[signature] = std::move(entry);
-  if (is_new) {
-    insertion_order_.emplace_back(block, signature);
-    EvictIfNeeded();
-  }
-}
-
-void ClusterReuseCache::EvictIfNeeded() {
-  if (max_entries_ <= 0) return;
-  while (TotalEntries() > max_entries_ && !insertion_order_.empty()) {
-    const auto [block, signature] = insertion_order_.front();
-    insertion_order_.pop_front();
-    if (BlockFor(block).erase(signature) > 0) ++evictions_;
-  }
-}
-
-void ClusterReuseCache::Clear() {
-  blocks_.clear();
-  insertion_order_.clear();
-  lookups_ = 0;
-  hits_ = 0;
-  evictions_ = 0;
-}
-
-int64_t ClusterReuseCache::ApproximateMemoryBytes() const {
-  int64_t bytes = 0;
-  for (const BlockMap& map : blocks_) {
-    for (const auto& [signature, entry] : map) {
-      bytes += static_cast<int64_t>(sizeof(signature)) +
-               static_cast<int64_t>((entry.representative.size() +
-                                     entry.output.size()) *
-                                    sizeof(float));
-    }
-  }
-  return bytes;
-}
-
-int64_t ClusterReuseCache::TotalEntries() const {
-  int64_t total = 0;
-  for (const auto& map : blocks_) {
-    total += static_cast<int64_t>(map.size());
-  }
-  return total;
-}
-
 namespace {
 
 // The shared back half of every LSH forward: given a finished clustering,
@@ -130,29 +63,38 @@ void FinishForwardFromClustering(ReuseClustering* clustering,
     const float* w_block = weight.data() + block.col_offset * m;
     batch_clusters += num_clusters;
 
-    // 1. Decide, per cluster, whether its output comes from the cache.
-    // Every yc row is written below (hit memcpy or GEMM), so the
+    // 1. Decide, per cluster, whether its output comes from the cache:
+    // one batched parallel lookup over the block's signatures, then one
+    // parallel gather of the hit payloads (cached output rows into yc,
+    // cached representatives over the fresh centroids — the backward pass
+    // must see the representative the cached output was computed from).
+    // Every yc row is written below (hit gather or GEMM), so the
     // uninitialized scratch buffer is safe.
     float* yc = scratch->Floats(num_clusters * m);
     int32_t* miss_clusters = scratch->Int32(num_clusters);
     int64_t num_miss = 0;
     if (cache != nullptr) {
+      int32_t* hit_entries = scratch->Int32(num_clusters);
+      int64_t num_hits = 0;
+      {
+        ADR_TRACE_SPAN("cache_find_batch");
+        num_hits = cache->FindBatch(static_cast<int64_t>(bi),
+                                    block.signatures.data(), num_clusters,
+                                    hit_entries);
+      }
+      if (num_hits > 0) {
+        cache->GatherHits(static_cast<int64_t>(bi), hit_entries,
+                          num_clusters, yc, m, block.centroids.data(),
+                          length);
+      }
       for (int64_t c = 0; c < num_clusters; ++c) {
-        const ClusterReuseCache::Entry* entry =
-            cache->Find(static_cast<int64_t>(bi), block.signatures[c]);
-        if (entry != nullptr) {
-          ADR_DCHECK(static_cast<int64_t>(entry->output.size()) == m);
-          std::memcpy(yc + c * m, entry->output.data(),
-                      sizeof(float) * static_cast<size_t>(m));
-          std::memcpy(block.centroids.data() + c * length,
-                      entry->representative.data(),
-                      sizeof(float) * static_cast<size_t>(length));
+        if (hit_entries[c] >= 0) {
           block.reused_from_cache[static_cast<size_t>(c)] = true;
-          ++batch_reused;
         } else {
           miss_clusters[num_miss++] = static_cast<int32_t>(c);
         }
       }
+      batch_reused += num_hits;
     } else {
       for (int64_t c = 0; c < num_clusters; ++c) {
         miss_clusters[num_miss++] = static_cast<int32_t>(c);
@@ -192,16 +134,9 @@ void FinishForwardFromClustering(ReuseClustering* clustering,
       }
       stats->macs_gemm += static_cast<double>(num_miss) * length * m;
       if (cache != nullptr) {
-        for (int64_t i = 0; i < num_miss; ++i) {
-          const int64_t c = miss_clusters[i];
-          ClusterReuseCache::Entry entry;
-          entry.representative.assign(
-              block.centroids.data() + c * length,
-              block.centroids.data() + (c + 1) * length);
-          entry.output.assign(yc + c * m, yc + (c + 1) * m);
-          cache->Insert(static_cast<int64_t>(bi), block.signatures[c],
-                        std::move(entry));
-        }
+        cache->InsertBatch(static_cast<int64_t>(bi), block.signatures.data(),
+                           miss_clusters, num_miss, block.centroids.data(),
+                           length, yc, m);
       }
     }
 

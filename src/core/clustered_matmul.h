@@ -6,78 +6,15 @@
 #define ADR_CORE_CLUSTERED_MATMUL_H_
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "core/cluster_cache.h"
 #include "core/subvector_clustering.h"
 #include "tensor/im2col.h"
 #include "tensor/tensor.h"
 #include "tensor/workspace_arena.h"
 
 namespace adr {
-
-/// \brief Cross-batch cluster cache of Algorithm 1.
-///
-/// Per column block it maps an LSH signature (the cluster ID) to the
-/// cluster's representative sub-vector and its precomputed output row.
-/// During training the cached outputs grow stale as W changes — that is the
-/// approximation the CR flag trades for speed (paper Section V-B); Reset()
-/// is the knob strategies use to bound it.
-class ClusterReuseCache {
- public:
-  struct Entry {
-    std::vector<float> representative;  ///< length L_I
-    std::vector<float> output;          ///< length M
-  };
-
-  /// \brief Looks up a signature in block `block`; nullptr on miss.
-  const Entry* Find(int64_t block, const LshSignature& signature) const;
-
-  /// \brief Inserts (overwrites) an entry.
-  void Insert(int64_t block, const LshSignature& signature, Entry entry);
-
-  /// \brief Drops all entries (e.g. when L, H, or W-staleness policy says
-  /// the cache is no longer valid).
-  void Clear();
-
-  int64_t TotalEntries() const;
-
-  /// \brief Bounds the total entry count across blocks; when full, the
-  /// oldest entries (insertion order, FIFO) are evicted. 0 = unbounded
-  /// (the paper's Algorithm 1 never evicts).
-  void set_max_entries(int64_t max_entries) { max_entries_ = max_entries; }
-  int64_t max_entries() const { return max_entries_; }
-  int64_t evictions() const { return evictions_; }
-
-  /// \brief Approximate resident bytes of the cached representatives and
-  /// outputs (for memory dashboards).
-  int64_t ApproximateMemoryBytes() const;
-
-  /// Cumulative cluster lookups and hits since construction/Clear.
-  int64_t lookups() const { return lookups_; }
-  int64_t hits() const { return hits_; }
-  /// Cumulative reuse rate R = hits / lookups.
-  double ReuseRate() const {
-    return lookups_ == 0 ? 0.0
-                         : static_cast<double>(hits_) /
-                               static_cast<double>(lookups_);
-  }
-
- private:
-  using BlockMap =
-      std::unordered_map<LshSignature, Entry, LshSignatureHash>;
-  mutable std::vector<BlockMap> blocks_;
-  mutable int64_t lookups_ = 0;
-  mutable int64_t hits_ = 0;
-  int64_t max_entries_ = 0;
-  int64_t evictions_ = 0;
-  /// Insertion order across all blocks, for FIFO eviction.
-  std::deque<std::pair<int64_t, LshSignature>> insertion_order_;
-
-  BlockMap& BlockFor(int64_t block) const;
-  void EvictIfNeeded();
-};
 
 /// \brief Instrumentation of one reuse forward pass.
 struct ForwardReuseStats {

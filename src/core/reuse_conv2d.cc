@@ -39,8 +39,22 @@ void ReuseConv2d::RebuildFamilies() {
                                         reuse_.num_hashes, reuse_.seed);
   if (reuse_.ClusterReuseEnabled()) {
     cache_ = std::make_unique<ClusterReuseCache>();
+    cache_->set_max_entries(cache_max_entries_);
+    cache_->set_max_bytes(cache_max_bytes_);
   } else {
     cache_.reset();
+  }
+  // A fresh cache starts all counters at zero, so delta publishing must
+  // restart from zero too.
+  published_cache_ = ClusterReuseCache::Stats{};
+}
+
+void ReuseConv2d::SetCacheBudgets(int64_t max_entries, int64_t max_bytes) {
+  cache_max_entries_ = max_entries;
+  cache_max_bytes_ = max_bytes;
+  if (cache_ != nullptr) {
+    cache_->set_max_entries(max_entries);
+    cache_->set_max_bytes(max_bytes);
   }
 }
 
@@ -181,6 +195,7 @@ Tensor ReuseConv2d::Forward(const Tensor& input, bool training) {
   stats_.macs_baseline += fs.macs_baseline;
   stats_.last_batch_reuse_rate = fs.batch_reuse_rate;
   PublishForwardMetrics(fs);
+  PublishCacheMetrics();
   PublishWorkspaceMetrics();
 
   Tensor out(Shape({batch, m, geo.out_height(), geo.out_width()}));
@@ -234,6 +249,44 @@ void ReuseConv2d::PublishWorkspaceMetrics() {
   metrics.counter(metric_prefix_ + "allocations_per_step")
       ->Increment(arena_.alloc_slabs() - published_alloc_slabs_);
   published_alloc_slabs_ = arena_.alloc_slabs();
+}
+
+void ReuseConv2d::PublishCacheMetrics() {
+  if (cache_ == nullptr) return;
+  const ClusterReuseCache::Stats stats = cache_->GetStats();
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+
+  metrics.gauge(metric_prefix_ + "cache_entries")
+      ->Set(static_cast<double>(stats.entries));
+  metrics.gauge(metric_prefix_ + "cache_resident_bytes")
+      ->Set(static_cast<double>(stats.resident_bytes));
+  metrics.gauge(metric_prefix_ + "cache_occupancy")
+      ->Set(stats.slots == 0 ? 0.0
+                             : static_cast<double>(stats.entries) /
+                                   static_cast<double>(stats.slots));
+
+  // The cache's counters are cumulative; the registry counters advance by
+  // the delta since the last publish (same pattern as alloc_slabs).
+  metrics.counter(metric_prefix_ + "cache_hits")
+      ->Increment(stats.hits - published_cache_.hits);
+  metrics.counter(metric_prefix_ + "cache_misses")
+      ->Increment((stats.lookups - stats.hits) -
+                  (published_cache_.lookups - published_cache_.hits));
+  metrics.counter(metric_prefix_ + "cache_evictions")
+      ->Increment(stats.evictions - published_cache_.evictions);
+  Histogram* probes = metrics.histogram(metric_prefix_ + "cache_probe_length");
+  for (int b = 0; b < ClusterReuseCache::kProbeBuckets; ++b) {
+    probes->RecordN(static_cast<double>(b + 1),
+                    stats.probe_counts[static_cast<size_t>(b)] -
+                        published_cache_.probe_counts[static_cast<size_t>(b)]);
+  }
+  published_cache_ = stats;
+
+  stats_.cache_lookups = stats.lookups;
+  stats_.cache_hits = stats.hits;
+  stats_.cache_evictions = stats.evictions;
+  stats_.cache_entries = stats.entries;
+  stats_.cache_resident_bytes = stats.resident_bytes;
 }
 
 Tensor ReuseConv2d::Backward(const Tensor& grad_output) {

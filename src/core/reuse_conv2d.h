@@ -76,6 +76,12 @@ class ReuseConv2d : public Layer {
   const ClusterReuseCache* cache() const { return cache_.get(); }
   void ClearCache();
 
+  /// \brief Budgets for the cluster-reuse cache (0 = unbounded): at most
+  /// `max_entries` resident clusters and `max_bytes` resident payload
+  /// bytes, enforced by second-chance eviction. Sticky across
+  /// SetReuseConfig rebuilds of the cache.
+  void SetCacheBudgets(int64_t max_entries, int64_t max_bytes);
+
   /// \brief The layer's step-scoped scratch arena. After the first
   /// training step at fixed (batch, config), reserved_bytes() and
   /// alloc_slabs() stay constant — the zero-allocation steady state the
@@ -104,6 +110,12 @@ class ReuseConv2d : public Layer {
   /// alloc_slabs() value already published, for per-step deltas.
   int64_t published_alloc_slabs_ = 0;
 
+  /// Cache budgets, reapplied whenever RebuildFamilies recreates cache_.
+  int64_t cache_max_entries_ = 0;
+  int64_t cache_max_bytes_ = 0;
+  /// Cache counters already published, for per-step deltas.
+  ClusterReuseCache::Stats published_cache_;
+
   // State cached between Forward and Backward (training mode only).
   ReuseClustering cached_clustering_;
   /// Arena-owned [N, K] unfolded input, valid until the next Reset();
@@ -124,6 +136,11 @@ class ReuseConv2d : public Layer {
   /// allocations_per_step (counter of hot-path slab allocations since the
   /// last publish — zero every step once the arena plan is warm).
   void PublishWorkspaceMetrics();
+
+  /// Publishes the cluster-reuse cache's occupancy, resident bytes,
+  /// hit/miss/eviction counter deltas, and probe-length histogram under
+  /// metric_prefix_ + "cache_". No-op while CR is disabled.
+  void PublishCacheMetrics();
 };
 
 }  // namespace adr

@@ -21,6 +21,13 @@ struct ReuseLayerStats {
   double macs_baseline = 0.0;  ///< 3 * N * K * M per call
   double last_batch_reuse_rate = 0.0;  ///< R of the most recent batch
 
+  // Cross-batch cluster-reuse cache (all zero while CR is disabled).
+  int64_t cache_lookups = 0;    ///< cumulative cluster lookups
+  int64_t cache_hits = 0;       ///< cumulative lookups served from cache
+  int64_t cache_evictions = 0;  ///< cumulative budget evictions
+  int64_t cache_entries = 0;    ///< currently resident entries
+  int64_t cache_resident_bytes = 0;  ///< exact resident payload bytes
+
   /// Fraction of baseline MACs avoided so far.
   double MacsSavedFraction() const {
     return macs_baseline == 0.0 ? 0.0 : 1.0 - macs_executed / macs_baseline;

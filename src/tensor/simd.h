@@ -52,6 +52,10 @@ struct Kernels {
   void (*axpy)(float s, const float* x, float* y, int64_t n);
   /// y[i] += x[i]
   void (*add)(const float* x, float* y, int64_t n);
+  /// y[i] = x[i]; bitwise-exact on every backend (the cluster-cache
+  /// gather and other row moves route through this instead of memcpy so
+  /// the wide loads/stores stay in the dispatched ISA).
+  void (*copy)(const float* x, float* y, int64_t n);
   /// y[i] *= s
   void (*scale)(float s, float* y, int64_t n);
   /// C[m x n] += A[m x k] * B[k x n]; row-major with leading dimensions

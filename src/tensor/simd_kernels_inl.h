@@ -149,6 +149,16 @@ void AddImpl(const float* x, float* y, int64_t n) {
 }
 
 template <typename Ops>
+void CopyImpl(const float* x, float* y, int64_t n) {
+  constexpr int64_t kW = Ops::kWidth;
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    Ops::Store(y + i, Ops::Load(x + i));
+  }
+  for (; i < n; ++i) y[i] = x[i];
+}
+
+template <typename Ops>
 void ScaleImpl(float s, float* y, int64_t n) {
   using Reg = typename Ops::Reg;
   constexpr int64_t kW = Ops::kWidth;
@@ -252,6 +262,7 @@ Kernels MakeKernels(Isa isa, const char* name) {
   kernels.squared_norm = &SquaredNormImpl<Ops>;
   kernels.axpy = &AxpyImpl<Ops>;
   kernels.add = &AddImpl<Ops>;
+  kernels.copy = &CopyImpl<Ops>;
   kernels.scale = &ScaleImpl<Ops>;
   kernels.gemm_block = &GemmBlockImpl<Ops>;
   return kernels;

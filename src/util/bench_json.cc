@@ -28,6 +28,15 @@ std::string BenchJsonEmitter::ToJson() const {
     w.Double(record.cpu_time_ns);
     w.Key("items_per_second");
     w.Double(record.items_per_second);
+    if (!record.counters.empty()) {
+      w.Key("counters");
+      w.BeginObject();
+      for (const auto& [key, value] : record.counters) {
+        w.Key(key);
+        w.Double(value);
+      }
+      w.EndObject();
+    }
     w.EndObject();
   }
   w.EndArray();

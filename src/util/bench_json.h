@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -26,6 +27,11 @@ struct BenchRecord {
   double real_time_ns = 0.0;
   double cpu_time_ns = 0.0;
   double items_per_second = 0.0;  ///< 0 when the bench reports no items
+  /// Extra named values (benchmark user counters, table-bench metrics
+  /// such as accuracies). Emitted as a "counters" object only when
+  /// non-empty, so documents without counters keep their exact old shape
+  /// under schema_version 1; the regression checker ignores the field.
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 /// \brief Collects BenchRecords and writes the suite's JSON file:

@@ -99,31 +99,37 @@ TEST(AugmentTest, BrightnessJitterShiftsUniformly) {
   EXPECT_LE(std::abs(shift), 0.5f);
 }
 
-TEST(CacheEvictionTest, FifoEvictsOldestBeyondCap) {
+TEST(CacheEvictionTest, EvictsUntouchedOldestBeyondCap) {
+  // With no intervening hits, second-chance degenerates to FIFO: the
+  // oldest untouched entry goes first.
   ClusterReuseCache cache;
   cache.set_max_entries(2);
   LshSignature s1, s2, s3;
   s1.SetBit(1);
   s2.SetBit(2);
   s3.SetBit(3);
-  cache.Insert(0, s1, {});
-  cache.Insert(0, s2, {});
+  const float rep[] = {1.0f};
+  const float out[] = {2.0f};
+  cache.Insert(0, s1, rep, 1, out, 1);
+  cache.Insert(0, s2, rep, 1, out, 1);
   EXPECT_EQ(cache.TotalEntries(), 2);
-  cache.Insert(0, s3, {});  // evicts s1
+  cache.Insert(0, s3, rep, 1, out, 1);  // evicts s1
   EXPECT_EQ(cache.TotalEntries(), 2);
   EXPECT_EQ(cache.evictions(), 1);
-  EXPECT_EQ(cache.Find(0, s1), nullptr);
-  EXPECT_NE(cache.Find(0, s2), nullptr);
-  EXPECT_NE(cache.Find(0, s3), nullptr);
+  EXPECT_FALSE(cache.Find(0, s1));
+  EXPECT_TRUE(cache.Find(0, s2));
+  EXPECT_TRUE(cache.Find(0, s3));
 }
 
 TEST(CacheEvictionTest, UnboundedByDefault) {
   ClusterReuseCache cache;
+  const float rep[] = {1.0f};
+  const float out[] = {2.0f};
   for (int i = 0; i < 100; ++i) {
     LshSignature sig;
     sig.SetBit(i % 128);
     sig.words[0] ^= static_cast<uint64_t>(i) << 32;
-    cache.Insert(0, sig, {});
+    cache.Insert(0, sig, rep, 1, out, 1);
   }
   EXPECT_EQ(cache.TotalEntries(), 100);
   EXPECT_EQ(cache.evictions(), 0);
@@ -134,23 +140,24 @@ TEST(CacheEvictionTest, ReinsertDoesNotDoubleCount) {
   cache.set_max_entries(4);
   LshSignature sig;
   sig.SetBit(5);
-  ClusterReuseCache::Entry entry;
-  entry.output = {1.0f};
-  cache.Insert(0, sig, entry);
-  entry.output = {2.0f};
-  cache.Insert(0, sig, entry);  // overwrite, not a new entry
+  const float rep[] = {0.0f};
+  const float out1[] = {1.0f};
+  const float out2[] = {2.0f};
+  cache.Insert(0, sig, rep, 1, out1, 1);
+  cache.Insert(0, sig, rep, 1, out2, 1);  // overwrite, not a new entry
   EXPECT_EQ(cache.TotalEntries(), 1);
-  EXPECT_EQ(cache.Find(0, sig)->output[0], 2.0f);
+  ClusterReuseCache::View view;
+  ASSERT_TRUE(cache.Find(0, sig, &view));
+  EXPECT_EQ(view.output[0], 2.0f);
 }
 
 TEST(CacheEvictionTest, MemoryAccounting) {
   ClusterReuseCache cache;
   LshSignature sig;
-  ClusterReuseCache::Entry entry;
-  entry.representative = {1, 2, 3, 4};  // 16 bytes
-  entry.output = {1, 2};                // 8 bytes
-  cache.Insert(0, sig, entry);
-  EXPECT_EQ(cache.ApproximateMemoryBytes(),
+  const float rep[] = {1, 2, 3, 4};  // 16 bytes
+  const float out[] = {1, 2};        // 8 bytes
+  cache.Insert(0, sig, rep, 4, out, 2);
+  EXPECT_EQ(cache.ResidentBytes(),
             static_cast<int64_t>(sizeof(LshSignature)) + 24);
 }
 

@@ -50,6 +50,28 @@ TEST(BenchJsonTest, RecordsCarryAllFields) {
   EXPECT_NE(json.find("\"items_per_second\""), std::string::npos);
 }
 
+TEST(BenchJsonTest, CountersEmittedOnlyWhenPresent) {
+  BenchJsonEmitter emitter("micro_reuse");
+  emitter.Add(MakeRecord("BM_NoCounters/1", 100.0));
+  BenchRecord with = MakeRecord("BM_WithCounters/1", 200.0);
+  with.counters.emplace_back("peak_workspace_bytes", 4096.0);
+  with.counters.emplace_back("alloc_events", 7.0);
+  emitter.Add(with);
+
+  const std::string json = emitter.ToJson();
+  EXPECT_TRUE(adr::testing::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"counters\":{\"peak_workspace_bytes\":"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"alloc_events\":"), std::string::npos);
+  // The record without counters keeps the counter-free shape.
+  const size_t plain = json.find("BM_NoCounters/1");
+  const size_t rich = json.find("BM_WithCounters/1");
+  ASSERT_NE(plain, std::string::npos);
+  ASSERT_NE(rich, std::string::npos);
+  EXPECT_EQ(json.substr(plain, rich - plain).find("counters"),
+            std::string::npos);
+}
+
 TEST(BenchJsonTest, SchemaVersionMatchesConstant) {
   // The checker hard-fails on version mismatch, so the constant and the
   // document must agree.

@@ -106,14 +106,16 @@ TEST(ClusterReuseCacheTest, FindMissThenHit) {
   ClusterReuseCache cache;
   LshSignature sig;
   sig.SetBit(3);
-  EXPECT_EQ(cache.Find(0, sig), nullptr);
-  ClusterReuseCache::Entry entry;
-  entry.representative = {1.0f, 2.0f};
-  entry.output = {3.0f};
-  cache.Insert(0, sig, entry);
-  const auto* found = cache.Find(0, sig);
-  ASSERT_NE(found, nullptr);
-  EXPECT_EQ(found->output[0], 3.0f);
+  EXPECT_FALSE(cache.Find(0, sig));
+  const float rep[] = {1.0f, 2.0f};
+  const float out[] = {3.0f};
+  cache.Insert(0, sig, rep, 2, out, 1);
+  ClusterReuseCache::View view;
+  ASSERT_TRUE(cache.Find(0, sig, &view));
+  ASSERT_EQ(view.m, 1);
+  ASSERT_EQ(view.length, 2);
+  EXPECT_EQ(view.output[0], 3.0f);
+  EXPECT_EQ(view.representative[1], 2.0f);
   EXPECT_EQ(cache.lookups(), 2);
   EXPECT_EQ(cache.hits(), 1);
   EXPECT_DOUBLE_EQ(cache.ReuseRate(), 0.5);
@@ -122,22 +124,27 @@ TEST(ClusterReuseCacheTest, FindMissThenHit) {
 TEST(ClusterReuseCacheTest, BlocksAreIndependent) {
   ClusterReuseCache cache;
   LshSignature sig;
-  cache.Insert(0, sig, {});
-  EXPECT_NE(cache.Find(0, sig), nullptr);
-  EXPECT_EQ(cache.Find(1, sig), nullptr);
+  const float rep[] = {1.0f};
+  const float out[] = {2.0f};
+  cache.Insert(0, sig, rep, 1, out, 1);
+  EXPECT_TRUE(cache.Find(0, sig));
+  EXPECT_FALSE(cache.Find(1, sig));
   EXPECT_EQ(cache.TotalEntries(), 1);
 }
 
 TEST(ClusterReuseCacheTest, ClearResetsEverything) {
   ClusterReuseCache cache;
   LshSignature sig;
-  cache.Insert(0, sig, {});
+  const float rep[] = {1.0f};
+  const float out[] = {2.0f};
+  cache.Insert(0, sig, rep, 1, out, 1);
   cache.Find(0, sig);
   cache.Clear();
   EXPECT_EQ(cache.TotalEntries(), 0);
   EXPECT_EQ(cache.lookups(), 0);
   EXPECT_EQ(cache.hits(), 0);
-  EXPECT_EQ(cache.Find(0, sig), nullptr);
+  EXPECT_EQ(cache.ResidentBytes(), 0);
+  EXPECT_FALSE(cache.Find(0, sig));
 }
 
 TEST(ClusteredMatmulTest, SecondIdenticalBatchFullyReused) {

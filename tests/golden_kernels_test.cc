@@ -95,6 +95,28 @@ TEST(GoldenKernels, AddAndScaleMatchScalarBitwise) {
   }
 }
 
+TEST(GoldenKernels, CopyIsBitwiseExactAndLeavesTailUntouched) {
+  // GatherHits in the cluster-reuse cache depends on copy being a pure
+  // bitwise move on every backend.
+  for (const simd::Kernels* backend : Backends()) {
+    for (const int64_t n : RemainderSizes()) {
+      const std::vector<float> x = RandomVector(n, 800 + n);
+      std::vector<float> actual(static_cast<size_t>(n) + 4, 99.0f);
+      backend->copy(x.data(), actual.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(std::memcmp(&actual[static_cast<size_t>(i)],
+                              &x[static_cast<size_t>(i)], sizeof(float)),
+                  0)
+            << backend->name << " copy n=" << n << " i=" << i;
+      }
+      // No write past n.
+      for (size_t i = static_cast<size_t>(n); i < actual.size(); ++i) {
+        EXPECT_EQ(actual[i], 99.0f) << backend->name << " copy n=" << n;
+      }
+    }
+  }
+}
+
 TEST(GoldenKernels, AxpyMatchesScalarWithinUlps) {
   const float s = -1.73f;
   for (const simd::Kernels* backend : Backends()) {
